@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one paper table/figure: it runs the experiment
+driver under pytest-benchmark timing, prints the regenerated rows/series,
+and writes them to ``benchmarks/results/<id>.txt`` so the artifacts survive
+stdout capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(experiment_id: str, lines: List[str]) -> str:
+    """Persist and print one experiment's regenerated rows."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"\n=== {experiment_id} ===")
+    print(text)
+    return path
+
+
+def fmt_row(label: str, values, fmt: str = "{:>8.2f}") -> str:
+    """One aligned table row."""
+    rendered = "  ".join(fmt.format(v) for v in values)
+    return f"{label:<28}{rendered}"

@@ -1,0 +1,45 @@
+"""Fig 5 benchmark: occupancy vs inter-packet delay and queue threshold.
+
+Paper result: occupancy plateaus (~50 % in the busy office) while the
+inter-packet delay is below the frame's on-air time, decays beyond it, and
+the threshold-1 curve sits below the rest because the queue repeatedly
+drains (§3.2, Fig 5).
+"""
+
+from conftest import fmt_row, write_report
+
+from repro.experiments.fig05_delay_sweep import run_fig05
+
+THRESHOLDS = (1, 5, 50, 100)
+DELAYS_US = (10, 50, 100, 150, 200, 300, 400, 600, 800, 1000)
+
+
+def test_fig05_delay_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig05(
+            thresholds=THRESHOLDS, delays_us=DELAYS_US, duration_s=2.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Fig 5 — Channel occupancy (%) vs UDP inter-packet delay (us)",
+        fmt_row("delay (us)", DELAYS_US, "{:>8.0f}"),
+    ]
+    for threshold in THRESHOLDS:
+        occupancies = [
+            100 * result.occupancy_at(threshold, d) for d in DELAYS_US
+        ]
+        lines.append(fmt_row(f"qdepth-threshold={threshold}", occupancies, "{:>8.1f}"))
+    lines += [
+        "",
+        "paper: plateau below the frame airtime, decay beyond it,",
+        "       threshold 1 strictly below the tuned threshold of 5.",
+    ]
+    write_report("fig05", lines)
+
+    plateau = result.occupancy_at(5, 100)
+    assert 0.40 < plateau < 0.58
+    assert result.occupancy_at(5, 1000) < 0.75 * plateau
+    assert result.occupancy_at(1, 100) < plateau
+    assert abs(result.occupancy_at(50, 100) - result.occupancy_at(100, 100)) < 0.05

@@ -1,0 +1,39 @@
+"""Fig 6a benchmark: UDP throughput vs offered rate for the four schemes.
+
+Paper result: PoWiFi tracks Baseline across the whole sweep; NoQueue
+roughly halves the saturated throughput; BlindUDP floors it (§4.1(a)).
+"""
+
+from conftest import fmt_row, write_report
+
+from repro.core.config import Scheme
+from repro.experiments.fig06_traffic import DEFAULT_UDP_RATES, run_fig06a
+
+
+def test_fig06a_udp(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig06a(rates_mbps=DEFAULT_UDP_RATES, copies=2, run_seconds=1.5),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Fig 6a — Achieved UDP throughput (Mb/s) vs offered rate (Mb/s)",
+        fmt_row("offered", DEFAULT_UDP_RATES, "{:>7.0f}"),
+    ]
+    for scheme in (Scheme.BASELINE, Scheme.POWIFI, Scheme.NO_QUEUE, Scheme.BLIND_UDP):
+        row = [results[scheme].throughput_by_rate[r] for r in DEFAULT_UDP_RATES]
+        lines.append(fmt_row(scheme.value, row, "{:>7.2f}"))
+    lines += [
+        "",
+        "paper: PoWiFi ~= Baseline; NoQueue ~half at saturation; BlindUDP ~floor.",
+    ]
+    write_report("fig06a", lines)
+
+    baseline = results[Scheme.BASELINE].throughput_by_rate
+    powifi = results[Scheme.POWIFI].throughput_by_rate
+    noqueue = results[Scheme.NO_QUEUE].throughput_by_rate
+    blind = results[Scheme.BLIND_UDP].throughput_by_rate
+    for rate in (5, 15, 25):
+        assert abs(powifi[rate] - baseline[rate]) / baseline[rate] < 0.15
+    assert 0.3 * baseline[50] < noqueue[50] < 0.7 * baseline[50]
+    assert blind[50] < 2.0

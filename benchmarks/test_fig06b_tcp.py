@@ -1,0 +1,50 @@
+"""Fig 6b benchmark: TCP throughput CDFs for the four schemes.
+
+Paper result: the Baseline and PoWiFi CDFs overlap; NoQueue sits at about
+half; BlindUDP collapses (§4.1(b)).
+"""
+
+from conftest import fmt_row, write_report
+
+from repro.core.config import Scheme
+from repro.experiments.fig06_traffic import run_fig06b
+
+PERCENTILES = (10, 25, 50, 75, 90)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    pos = q / 100 * (len(ordered) - 1)
+    low = int(pos)
+    high = min(low + 1, len(ordered) - 1)
+    frac = pos - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def test_fig06b_tcp(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig06b(runs=3, copies=2, run_seconds=1.5),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Fig 6b — TCP throughput CDF percentiles (Mb/s)",
+        fmt_row("percentile", PERCENTILES, "{:>8.0f}"),
+    ]
+    for scheme in (Scheme.BASELINE, Scheme.POWIFI, Scheme.NO_QUEUE, Scheme.BLIND_UDP):
+        samples = results[scheme].interval_throughputs_mbps
+        lines.append(
+            fmt_row(scheme.value, [_percentile(samples, q) for q in PERCENTILES], "{:>8.2f}")
+        )
+    lines += [
+        "",
+        "paper: Baseline ~= PoWiFi; NoQueue ~half; BlindUDP collapses.",
+    ]
+    write_report("fig06b", lines)
+
+    baseline = results[Scheme.BASELINE].median_mbps
+    assert results[Scheme.POWIFI].median_mbps > 0.75 * baseline
+    assert results[Scheme.NO_QUEUE].median_mbps < 0.75 * baseline
+    assert results[Scheme.BLIND_UDP].median_mbps < 0.2 * baseline

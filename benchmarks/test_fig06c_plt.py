@@ -1,0 +1,43 @@
+"""Fig 6c benchmark: page-load times of the top-10 US sites per scheme.
+
+Paper result: PoWiFi adds ~101 ms mean delay over Baseline, NoQueue
+~294 ms, BlindUDP deteriorates PLT severely (§4.1(c)).
+"""
+
+from conftest import write_report
+
+from repro.core.config import Scheme
+from repro.experiments.fig06_traffic import run_fig06c
+from repro.workloads.web import TOP_10_US_SITES
+
+SCHEMES = (Scheme.BASELINE, Scheme.POWIFI, Scheme.NO_QUEUE, Scheme.BLIND_UDP)
+
+
+def test_fig06c_plt(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig06c(loads_per_site=2, page_scale=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    header = f"{'site':<16}" + "".join(f"{s.value:>12}" for s in SCHEMES)
+    lines = ["Fig 6c — Page load time (s) per site", header]
+    for site in TOP_10_US_SITES:
+        row = f"{site:<16}" + "".join(
+            f"{results[s].plt_by_site[site]:>12.2f}" for s in SCHEMES
+        )
+        lines.append(row)
+    means = {s: results[s].mean_plt_s for s in SCHEMES}
+    lines += [
+        f"{'MEAN':<16}" + "".join(f"{means[s]:>12.2f}" for s in SCHEMES),
+        "",
+        f"PoWiFi delay over baseline:  {1e3 * (means[Scheme.POWIFI] - means[Scheme.BASELINE]):7.0f} ms   (paper: 101 ms)",
+        f"NoQueue delay over baseline: {1e3 * (means[Scheme.NO_QUEUE] - means[Scheme.BASELINE]):7.0f} ms   (paper: 294 ms)",
+    ]
+    write_report("fig06c", lines)
+
+    assert means[Scheme.BASELINE] < means[Scheme.POWIFI] < means[Scheme.NO_QUEUE]
+    assert means[Scheme.BLIND_UDP] > 2 * means[Scheme.BASELINE]
+    powifi_delay = means[Scheme.POWIFI] - means[Scheme.BASELINE]
+    noqueue_delay = means[Scheme.NO_QUEUE] - means[Scheme.BASELINE]
+    assert 0.0 < powifi_delay < 0.3
+    assert powifi_delay < noqueue_delay < 0.8

@@ -1,0 +1,47 @@
+"""Fig 7 benchmark: PoWiFi channel-occupancy CDFs during client traffic.
+
+Paper result: individual channels run at 5-50 % occupancy while the mean
+cumulative occupancy stays near or above 100 % (97.6 % UDP, 100.9 % TCP,
+87.6 % PLT) (§4.1, Fig 7).
+"""
+
+from conftest import fmt_row, write_report
+
+from repro.experiments.fig06_traffic import run_fig07
+
+PERCENTILES = (10, 25, 50, 75, 90)
+
+
+def test_fig07_occupancy(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig07(duration_s=8.0), rounds=1, iterations=1
+    )
+    lines = [
+        "Fig 7 — PoWiFi occupancy CDF percentiles (%) during UDP client traffic",
+        fmt_row("percentile", PERCENTILES, "{:>8.0f}"),
+    ]
+    for channel, series in sorted(report.per_channel.items()):
+        lines.append(
+            fmt_row(
+                f"channel {channel}",
+                [100 * series.percentile(q) for q in PERCENTILES],
+                "{:>8.1f}",
+            )
+        )
+    lines.append(
+        fmt_row(
+            "cumulative",
+            [100 * report.cumulative.percentile(q) for q in PERCENTILES],
+            "{:>8.1f}",
+        )
+    )
+    lines += [
+        "",
+        f"mean cumulative occupancy: {100 * report.mean_cumulative:6.1f} %  (paper: ~97.6 %)",
+    ]
+    write_report("fig07", lines)
+
+    assert 0.8 < report.mean_cumulative < 2.2
+    # Each individual channel must sit well below the cumulative.
+    for series in report.per_channel.values():
+        assert series.mean < report.mean_cumulative

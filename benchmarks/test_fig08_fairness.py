@@ -1,0 +1,40 @@
+"""Fig 8 benchmark: effect on a neighbouring network's UDP throughput.
+
+Paper result: PoWiFi gives the neighbouring router-client pair *better*
+than equal-share throughput at every bit rate (54 Mb/s power packets are
+brief); BlindUDP devastates the neighbour, and worse at higher bit rates
+(§4.1(d), Fig 8).
+"""
+
+from conftest import fmt_row, write_report
+
+from repro.core.config import Scheme
+from repro.experiments.fig08_fairness import DEFAULT_NEIGHBOR_RATES, run_fig08
+
+
+def test_fig08_fairness(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig08(neighbor_rates=DEFAULT_NEIGHBOR_RATES, duration_s=2.0),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Fig 8 — Neighbour UDP throughput (Mb/s) vs its Wi-Fi bit rate",
+        fmt_row("bit rate", DEFAULT_NEIGHBOR_RATES, "{:>7.1f}"),
+    ]
+    for scheme in (Scheme.EQUAL_SHARE, Scheme.POWIFI, Scheme.BLIND_UDP):
+        row = [result.throughput[scheme][r] for r in DEFAULT_NEIGHBOR_RATES]
+        lines.append(fmt_row(scheme.value, row, "{:>7.2f}"))
+    lines += [
+        "",
+        "paper: PoWiFi >= EqualShare at every rate; BlindUDP crushes the",
+        "       neighbour, increasingly so at high bit rates.",
+    ]
+    write_report("fig08", lines)
+
+    for rate in (5.5, 11, 18, 24, 36, 48):
+        assert (
+            result.throughput[Scheme.POWIFI][rate]
+            >= result.throughput[Scheme.EQUAL_SHARE][rate] * 0.95
+        )
+    assert result.throughput[Scheme.BLIND_UDP][54] < 2.0

@@ -1,0 +1,35 @@
+"""Fig 9 benchmark: harvester return loss across the Wi-Fi band.
+
+Paper result: both harvester builds hold return loss below -10 dB across
+2.401-2.473 GHz, i.e. under 0.5 dB of power lost to reflection (§4.2(a)).
+"""
+
+from conftest import write_report
+
+from repro.experiments.fig09_return_loss import run_fig09
+
+
+def test_fig09_return_loss(benchmark):
+    free, recharging = benchmark.pedantic(run_fig09, rounds=1, iterations=1)
+    lines = ["Fig 9 — Harvester return loss (dB) across the band"]
+    lines.append(f"{'freq (GHz)':<12}{'battery-free':>14}{'battery-recharging':>20}")
+    free_points = {f: rl for f, rl in free.sweep}
+    rech_points = {f: rl for f, rl in recharging.sweep}
+    for f in sorted(free_points):
+        if abs((f / 1e6) % 10) > 0.1:  # print every 10 MHz
+            continue
+        lines.append(
+            f"{f / 1e9:<12.3f}{free_points[f]:>14.1f}{rech_points[f]:>20.1f}"
+        )
+    lines += [
+        "",
+        f"worst in-band (battery-free):       {free.worst_in_band_db:6.1f} dB",
+        f"worst in-band (battery-recharging): {recharging.worst_in_band_db:6.1f} dB",
+        f"worst reflection penalty:           {max(free.worst_power_penalty_db, recharging.worst_power_penalty_db):6.2f} dB  (paper: < 0.5 dB)",
+    ]
+    write_report("fig09", lines)
+
+    assert free.meets_spec
+    assert recharging.meets_spec
+    assert free.worst_power_penalty_db < 0.5
+    assert recharging.worst_power_penalty_db < 0.5

@@ -1,0 +1,39 @@
+"""Fig 10 benchmark: available power at the rectifier output vs input power.
+
+Paper result: output scales with input to ~150 uW at +4 dBm; sensitivities
+are -17.8 dBm (battery-free) and -19.3 dBm (battery-recharging); channels
+1, 6 and 11 behave near-identically (§4.2(b)).
+"""
+
+from conftest import fmt_row, write_report
+
+from repro.experiments.fig10_rectifier import run_fig10
+
+SWEEP = tuple(range(-20, 5, 2))
+
+
+def test_fig10_rectifier(benchmark):
+    free, recharging = benchmark.pedantic(
+        lambda: run_fig10(input_powers_dbm=SWEEP), rounds=1, iterations=1
+    )
+    lines = [
+        "Fig 10 — Rectifier output power (uW) vs input power (dBm)",
+        fmt_row("input (dBm)", SWEEP, "{:>7.0f}"),
+    ]
+    for result in (free, recharging):
+        for channel in (1, 6, 11):
+            row = [1e6 * result.output_at(channel, dbm) for dbm in SWEEP]
+            lines.append(fmt_row(f"{result.name} ch{channel}", row, "{:>7.1f}"))
+    lines += [
+        "",
+        f"sensitivity battery-free:       {free.worst_sensitivity_dbm:6.1f} dBm  (paper: -17.8)",
+        f"sensitivity battery-recharging: {recharging.worst_sensitivity_dbm:6.1f} dBm  (paper: -19.3)",
+    ]
+    write_report("fig10", lines)
+
+    assert abs(free.worst_sensitivity_dbm - (-17.8)) < 1.0
+    assert abs(recharging.worst_sensitivity_dbm - (-19.3)) < 1.0
+    assert 100e-6 < free.output_at(6, 4) < 250e-6
+    # Channel uniformity.
+    outputs = [free.output_at(ch, 0) for ch in (1, 6, 11)]
+    assert max(outputs) / min(outputs) < 1.1

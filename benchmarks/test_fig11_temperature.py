@@ -1,0 +1,36 @@
+"""Fig 11 benchmark: temperature-sensor update rate vs distance.
+
+Paper result: rates fall with distance; the builds are comparable close in;
+the battery-free sensor works to 20 ft, the battery-recharging build runs
+energy-neutral to 28 ft (§5.1, Fig 11).
+"""
+
+from conftest import fmt_row, write_report
+
+from repro.experiments.fig11_temperature import DEFAULT_DISTANCES_FEET, run_fig11
+
+
+def test_fig11_temperature(benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    lines = [
+        "Fig 11 — Temperature-sensor update rate (reads/s) vs distance (ft)",
+        fmt_row("distance (ft)", DEFAULT_DISTANCES_FEET, "{:>7.0f}"),
+        fmt_row(
+            "battery-free",
+            [result.battery_free[d] for d in DEFAULT_DISTANCES_FEET],
+            "{:>7.2f}",
+        ),
+        fmt_row(
+            "battery-recharging",
+            [result.battery_recharging[d] for d in DEFAULT_DISTANCES_FEET],
+            "{:>7.2f}",
+        ),
+        "",
+        f"battery-free range:       {result.battery_free_range_feet:5.1f} ft  (paper: 20 ft)",
+        f"battery-recharging range: {result.battery_recharging_range_feet:5.1f} ft  (paper: 28 ft)",
+    ]
+    write_report("fig11", lines)
+
+    assert abs(result.battery_free_range_feet - 20.0) < 2.5
+    assert abs(result.battery_recharging_range_feet - 28.0) < 2.5
+    assert result.battery_recharging[20] > result.battery_free[20]

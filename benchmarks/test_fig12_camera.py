@@ -1,0 +1,41 @@
+"""Fig 12 benchmark: camera inter-frame time vs distance.
+
+Paper result: the battery-free camera operates to 17 ft; the
+battery-recharging build is energy-neutral to 23 ft and keeps working to
+~26.5 ft; the builds are comparable to ~15 ft (§5.2, Fig 12).
+"""
+
+from conftest import fmt_row, write_report
+
+from repro.experiments.fig12_camera import DEFAULT_DISTANCES_FEET, run_fig12
+
+
+def _fmt(minutes):
+    return [m if m != float("inf") else -1.0 for m in minutes]
+
+
+def test_fig12_camera(benchmark):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    lines = [
+        "Fig 12 — Camera inter-frame time (min) vs distance (ft)  [-1 = off]",
+        fmt_row("distance (ft)", DEFAULT_DISTANCES_FEET, "{:>7.0f}"),
+        fmt_row(
+            "battery-free",
+            _fmt([result.battery_free[d] for d in DEFAULT_DISTANCES_FEET]),
+            "{:>7.1f}",
+        ),
+        fmt_row(
+            "battery-recharging",
+            _fmt([result.battery_recharging[d] for d in DEFAULT_DISTANCES_FEET]),
+            "{:>7.1f}",
+        ),
+        "",
+        f"battery-free range:       {result.battery_free_range_feet:5.1f} ft  (paper: 17 ft)",
+        f"battery-recharging range: {result.battery_recharging_range_feet:5.1f} ft  (paper: 23 ft energy-neutral, 26.5 ft max)",
+    ]
+    write_report("fig12", lines)
+
+    assert abs(result.battery_free_range_feet - 17.0) < 2.0
+    assert 23.0 <= result.battery_recharging_range_feet <= 30.0
+    assert result.battery_free[20] == float("inf")
+    assert result.battery_recharging[23] != float("inf")

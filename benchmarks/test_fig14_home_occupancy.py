@@ -1,0 +1,40 @@
+"""Fig 14 benchmark: 24-hour occupancy logs across the six homes.
+
+Paper result: per-channel occupancy varies with neighbouring load
+(carrier-sense scale-back), cumulative occupancy stays high throughout,
+and the per-home means land in the 78-127 % range (§6, Fig 14).
+"""
+
+from conftest import write_report
+
+from repro.experiments.fig14_homes import run_fig14
+
+
+def test_fig14_home_occupancy(benchmark):
+    study = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    lines = [
+        "Fig 14 — Home-deployment occupancy (24 h at 60 s windows)",
+        f"{'home':<6}{'APs':>5}{'ch1 mean %':>12}{'ch6 mean %':>12}{'ch11 mean %':>13}"
+        f"{'cumul mean %':>14}{'cumul p10 %':>13}{'cumul p90 %':>13}",
+    ]
+    for home in study.homes:
+        per = {ch: 100 * s.mean for ch, s in home.per_channel.items()}
+        lines.append(
+            f"{home.profile.index:<6}{home.profile.neighboring_aps:>5}"
+            f"{per[1]:>12.1f}{per[6]:>12.1f}{per[11]:>13.1f}"
+            f"{100 * home.mean_cumulative:>14.1f}"
+            f"{100 * home.cumulative.percentile(10):>13.1f}"
+            f"{100 * home.cumulative.percentile(90):>13.1f}"
+        )
+    low, high = study.mean_cumulative_range
+    lines += [
+        "",
+        f"mean cumulative range across homes: {100 * low:.0f}-{100 * high:.0f} %  (paper: 78-127 %)",
+    ]
+    write_report("fig14", lines)
+
+    assert 0.70 < low < 1.0
+    assert 1.0 < high < 1.45
+    means = {h.profile.index: h.mean_cumulative for h in study.homes}
+    assert means[5] == min(means.values())  # 24 neighbouring APs
+    assert means[2] == max(means.values())  # 4 neighbouring APs

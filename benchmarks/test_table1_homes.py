@@ -1,0 +1,21 @@
+"""Table 1 benchmark: the home-deployment summary.
+
+Reproduces the deployment table (users / devices / neighbouring APs per
+home) that parameterises Figs 14 and 15.
+"""
+
+from conftest import write_report
+
+from repro.experiments.table1_homes import run_table1
+
+
+def test_table1_homes(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    lines = [
+        "Table 1 — Summary of the home deployment",
+        result.as_text(),
+        "",
+        f"matches the paper's table: {result.matches_paper}",
+    ]
+    write_report("table1", lines)
+    assert result.matches_paper

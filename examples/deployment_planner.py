@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Plan a real deployment: site survey + multi-band what-if.
+
+Answers the questions a deployer of Wi-Fi-powered sensors asks:
+
+1. how far can my temperature sensor sit from the router, for my target
+   update rate, in my building?
+2. what if there's a wall in the way?
+3. how much cumulative occupancy does my spot need?
+4. what does the §8(e) multi-band (900 MHz + 2.4 GHz) future buy me?
+
+Usage::
+
+    python examples/deployment_planner.py
+"""
+
+from repro.harvester.multiband import BandInput, MultiBandHarvester
+from repro.planner import DeploymentPlanner, Environment, SensingRequirement
+from repro.rf.materials import WALL_MATERIALS
+from repro.sensors.mcu import TEMPERATURE_READ_ENERGY_J
+
+
+def site_survey() -> None:
+    requirement = SensingRequirement(
+        operation_energy_j=TEMPERATURE_READ_ENERGY_J, target_rate_hz=1.0
+    )
+    planner = DeploymentPlanner(Environment(cumulative_occupancy=1.0))
+
+    print("Site survey — temperature sensor at 1 read/s, occupancy 100 %")
+    print(f"{'distance':>9}  {'received':>9}  {'harvested':>10}  {'rate':>7}  verdict")
+    for verdict in planner.survey(requirement, [5, 8, 10, 12, 15, 18, 22]):
+        status = "OK" if verdict.feasible else "--"
+        print(
+            f"{verdict.distance_feet:>7.0f} ft {verdict.received_power_dbm:>8.1f} dBm"
+            f" {1e6 * verdict.harvested_power_w:>8.2f} uW"
+            f" {verdict.achievable_rate_hz:>6.2f}/s   {status}"
+            f"  (margin {verdict.margin_db:+.1f} dB)"
+        )
+    print(f"max feasible distance: {planner.max_distance_feet(requirement):.1f} ft")
+
+    print("\nThrough a sheet-rock wall:")
+    walled = DeploymentPlanner(
+        Environment(wall=WALL_MATERIALS["sheetrock"], cumulative_occupancy=1.0)
+    )
+    print(f"max feasible distance: {walled.max_distance_feet(requirement):.1f} ft")
+
+    print("\nRequired cumulative occupancy by spot:")
+    for feet in (8, 10, 12, 14):
+        occupancy = planner.required_occupancy(requirement, feet)
+        rendered = f"{100 * occupancy:.0f} %" if occupancy else "unreachable"
+        print(f"  {feet:>2} ft -> {rendered}")
+
+
+def multiband_whatif() -> None:
+    print("\nMulti-band what-if (§8e): add a 900 MHz ISM source")
+    harvester = MultiBandHarvester()
+    for wifi_dbm in (-14.0, -16.0, -18.0):
+        wifi_only = harvester.dc_output_power_w([BandInput(2.437e9, wifi_dbm)])
+        both = harvester.dc_output_power_w(
+            [BandInput(2.437e9, wifi_dbm), BandInput(915e6, wifi_dbm)]
+        )
+        gain = both / wifi_only if wifi_only > 0 else float("inf")
+        print(
+            f"  Wi-Fi at {wifi_dbm:5.1f} dBm: {1e6 * wifi_only:6.2f} uW alone, "
+            f"{1e6 * both:6.2f} uW with a matched 900 MHz source ({gain:.1f}x)"
+        )
+
+
+if __name__ == "__main__":
+    site_survey()
+    multiband_whatif()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Replay the §6 home-deployment study (Table 1, Figs 14-15).
+
+Generates each home's 24-hour occupancy log, prints the Fig 14 summary, and
+derives the Fig 15 sensor update-rate distribution at ten feet.
+
+Usage::
+
+    python examples/home_deployment.py [seed]
+"""
+
+import sys
+
+from repro.experiments.fig14_homes import run_fig14
+from repro.experiments.fig15_home_sensor import run_fig15
+from repro.experiments.table1_homes import run_table1
+
+
+def sparkline(samples, buckets: int = 48) -> str:
+    """Compress a day of samples into a one-line unicode profile."""
+    glyphs = " .:-=+*#%@"
+    step = max(1, len(samples) // buckets)
+    downsampled = [
+        sum(samples[i : i + step]) / len(samples[i : i + step])
+        for i in range(0, len(samples), step)
+    ]
+    top = max(downsampled) or 1.0
+    return "".join(
+        glyphs[min(len(glyphs) - 1, int(v / top * (len(glyphs) - 1)))]
+        for v in downsampled
+    )
+
+
+def main(seed: int = 0) -> None:
+    print("Table 1 — deployment parameters")
+    print(run_table1().as_text())
+
+    print("\nGenerating 24-hour logs for all six homes...")
+    study = run_fig14(seed=seed)
+
+    print("\nFig 14 — cumulative occupancy over the day (one glyph ~ 30 min):")
+    for home in study.homes:
+        profile = sparkline(home.cumulative.samples)
+        print(
+            f"  home {home.profile.index} ({home.profile.neighboring_aps:>2} APs) "
+            f"mean {100 * home.mean_cumulative:5.1f} %  |{profile}|"
+        )
+    low, high = study.mean_cumulative_range
+    print(f"  mean cumulative range: {100 * low:.0f}-{100 * high:.0f} %  (paper: 78-127 %)")
+
+    print("\nFig 15 — battery-free sensor at 10 ft, update-rate medians:")
+    result = run_fig15(study)
+    for index in sorted(result.samples_by_home):
+        print(f"  home {index}: median {result.median(index):5.2f} reads/s")
+    verdict = "yes" if result.all_homes_deliver_power else "no"
+    print(f"  power delivered in every home: {verdict}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

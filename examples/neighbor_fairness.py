@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Fairness to a neighbouring Wi-Fi network (the Fig 8 experiment).
+
+Places a neighbouring AP-client pair on channel 1, runs saturated UDP at a
+few bit rates, and compares what the neighbour achieves while our router
+runs BlindUDP, EqualShare or PoWiFi — demonstrating the paper's claim that
+PoWiFi's 54 Mb/s power packets give neighbours *better* than an equal share
+of the medium.
+
+Usage::
+
+    python examples/neighbor_fairness.py
+"""
+
+from repro.core.config import Scheme
+from repro.experiments.fig08_fairness import measure_neighbor_throughput
+
+RATES = (5.5, 11.0, 24.0, 48.0, 54.0)
+
+
+def main() -> None:
+    print("Neighbour's achieved UDP throughput (Mb/s) per scheme\n")
+    header = f"{'neighbour rate':<16}" + "".join(f"{r:>9.1f}" for r in RATES)
+    print(header)
+    for scheme in (Scheme.EQUAL_SHARE, Scheme.POWIFI, Scheme.BLIND_UDP):
+        row = f"{scheme.value:<16}"
+        for rate in RATES:
+            throughput = measure_neighbor_throughput(scheme, rate, duration_s=1.5)
+            row += f"{throughput:>9.2f}"
+        print(row)
+
+    print(
+        "\nPoWiFi's power packets ride 54 Mb/s and occupy the channel only"
+        "\nbriefly, so the neighbour beats its equal share; BlindUDP's"
+        "\n1 Mb/s packets monopolise airtime and crush it (§3.2(iii), Fig 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

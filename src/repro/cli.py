@@ -1,0 +1,214 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list                 # show experiment ids
+    python -m repro fig5                 # run one experiment, print a report
+    python -m repro fig14 --seed 3
+    python -m repro quickstart --duration 2.0
+
+Reports mirror the benchmark outputs; heavy experiments accept reduced
+scales through the driver defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def _report_fig5(result) -> List[str]:
+    lines = ["threshold  " + "  ".join(f"{d:>6.0f}us" for d, _ in next(iter(result.curves.values())))]
+    for threshold, curve in sorted(result.curves.items()):
+        lines.append(
+            f"{threshold:>9}  " + "  ".join(f"{100 * occ:>7.1f}%" for _, occ in curve)
+        )
+    return lines
+
+
+def _report_fig14(study) -> List[str]:
+    lines = []
+    for home in study.homes:
+        lines.append(
+            f"home {home.profile.index} ({home.profile.neighboring_aps:>2} APs): "
+            f"mean cumulative {100 * home.mean_cumulative:6.1f} %"
+        )
+    low, high = study.mean_cumulative_range
+    lines.append(f"range {100 * low:.0f}-{100 * high:.0f} %  (paper: 78-127 %)")
+    return lines
+
+
+def _report_fig1(result) -> List[str]:
+    return [
+        f"received power: {result.received_power_dbm:6.1f} dBm",
+        f"peak voltage:   {1e3 * result.peak_voltage_v:6.1f} mV",
+        f"300 mV crossed: {result.crossed_threshold}",
+    ]
+
+
+def _report_fig9(pair) -> List[str]:
+    return [
+        f"{r.name}: worst in-band return loss {r.worst_in_band_db:6.1f} dB "
+        f"(spec < -10 dB: {r.meets_spec})"
+        for r in pair
+    ]
+
+
+def _report_fig10(pair) -> List[str]:
+    lines = []
+    for result in pair:
+        lines.append(
+            f"{result.name}: sensitivity {result.worst_sensitivity_dbm:6.1f} dBm, "
+            f"output at +4 dBm {1e6 * result.output_at(6, 4):6.1f} uW"
+        )
+    return lines
+
+
+def _report_fig11(result) -> List[str]:
+    return [
+        f"battery-free range:       {result.battery_free_range_feet:5.1f} ft",
+        f"battery-recharging range: {result.battery_recharging_range_feet:5.1f} ft",
+        "reads/s at 10 ft: "
+        f"{result.battery_free[10]:.2f} (free) / {result.battery_recharging[10]:.2f} (recharging)",
+    ]
+
+
+def _report_fig12(result) -> List[str]:
+    return [
+        f"battery-free range:       {result.battery_free_range_feet:5.1f} ft",
+        f"battery-recharging range: {result.battery_recharging_range_feet:5.1f} ft",
+    ]
+
+
+def _report_fig13(result) -> List[str]:
+    return [
+        f"{name:<14} {minutes:6.1f} min/frame"
+        for name, minutes in result.inter_frame_minutes.items()
+    ]
+
+
+def _report_fig15(result) -> List[str]:
+    return [
+        f"home {index}: median {result.median(index):5.2f} reads/s"
+        for index in sorted(result.samples_by_home)
+    ]
+
+
+def _report_table1(result) -> List[str]:
+    return [result.as_text(), f"matches paper: {result.matches_paper}"]
+
+
+def _report_fig8(result) -> List[str]:
+    lines = []
+    for scheme, curve in result.throughput.items():
+        rendered = "  ".join(f"{r:g}:{v:.1f}" for r, v in sorted(curve.items()))
+        lines.append(f"{scheme.value:<12} {rendered}")
+    return lines
+
+
+def _report_sec8a(result) -> List[str]:
+    return [
+        f"average current: {result.average_current_ma:5.2f} mA",
+        f"charge in 2.5 h: {result.charge_percent_after:5.1f} %",
+    ]
+
+
+def _report_sec8c(study) -> List[str]:
+    return [
+        f"{count} router(s): aggregate cumulative "
+        f"{100 * study.aggregate_cumulative(count):6.1f} %"
+        for count in sorted(study.by_count)
+    ]
+
+
+def _report_generic(result) -> List[str]:
+    return [repr(result)]
+
+
+_REPORTERS: Dict[str, Callable] = {
+    "fig1": _report_fig1,
+    "fig5": _report_fig5,
+    "fig8": _report_fig8,
+    "fig9": _report_fig9,
+    "fig10": _report_fig10,
+    "fig11": _report_fig11,
+    "fig12": _report_fig12,
+    "fig13": _report_fig13,
+    "fig14": _report_fig14,
+    "fig15": _report_fig15,
+    "table1": _report_table1,
+    "sec8a": _report_sec8a,
+    "sec8c": _report_sec8c,
+}
+
+
+def _cmd_list() -> int:
+    print("available experiments:")
+    for key in sorted(EXPERIMENTS):
+        print(f"  {key:<8} -> {EXPERIMENTS[key]}")
+    print("  quickstart (built-in demo)")
+    print("  report     (run everything, emit markdown)")
+    return 0
+
+
+def _cmd_quickstart(duration: float, seed: int) -> int:
+    from repro import quickstart_powifi
+
+    result = quickstart_powifi(duration_s=duration, seed=seed)
+    for channel, occupancy in sorted(result.occupancy_by_channel.items()):
+        print(f"channel {channel:>2}: {100 * occupancy:5.1f} %")
+    print(f"cumulative: {100 * result.cumulative_occupancy:5.1f} %")
+    print(f"power frames: {result.power_frames_sent}")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PoWiFi reproduction: run the paper's experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'quickstart', 'report', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--duration", type=float, default=2.0, help="quickstart duration (s)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        return _cmd_list()
+    if args.experiment == "report":
+        from repro.experiments.report import generate_report
+
+        print(generate_report())
+        return 0
+    if args.experiment == "quickstart":
+        return _cmd_quickstart(args.duration, args.seed)
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    driver = get_experiment(args.experiment)
+    try:
+        result = driver(seed=args.seed)
+    except TypeError:
+        # Drivers without a seed parameter (pure-analytic experiments).
+        result = driver()
+    reporter = _REPORTERS.get(args.experiment, _report_generic)
+    print(f"== {args.experiment} ==")
+    for line in reporter(result):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Configuration objects for the PoWiFi injection mechanism."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mac80211.rates import validate_rate
+
+
+class Scheme(Enum):
+    """The four router schemes compared in §4.1 plus EqualShare (§4.1(d))."""
+
+    #: No extra traffic at all.
+    BASELINE = "baseline"
+    #: Saturating UDP broadcast at 1 Mb/s, no queue check.
+    BLIND_UDP = "blind_udp"
+    #: 54 Mb/s power packets but the queue-threshold check disabled.
+    NO_QUEUE = "no_queue"
+    #: The full design: 54 Mb/s power packets gated on queue depth.
+    POWIFI = "powifi"
+    #: Power packets at the *neighbour's* bit rate (fairness baseline, Fig 8).
+    EQUAL_SHARE = "equal_share"
+
+
+#: The paper's tuned queue-depth threshold (§3.2(i)).
+DEFAULT_QUEUE_THRESHOLD = 5
+
+#: The paper's chosen inter-packet delay (§3.2(ii)).
+DEFAULT_INTER_PACKET_DELAY_S = 100e-6
+
+#: The IP datagram size of power packets.
+DEFAULT_POWER_PACKET_BYTES = 1500
+
+#: MAC+LLC+FCS overhead on top of the IP datagram.
+MAC_OVERHEAD_BYTES = 24 + 8 + 4
+
+
+@dataclass(frozen=True)
+class InjectorConfig:
+    """Parameters of one per-channel power injector.
+
+    Attributes
+    ----------
+    inter_packet_delay_s:
+        The user-space program's pacing between send() calls.
+    queue_threshold:
+        Drop power packets when the interface queue depth is at or above
+        this value; ``None`` disables the check (the NoQueue scheme).
+    rate_mbps:
+        Wi-Fi bit rate for power packets (54 for PoWiFi, 1 for BlindUDP).
+    ip_datagram_bytes:
+        IP-layer size of each power datagram.
+    syscall_overhead_s:
+        Minimum achievable spacing between consecutive user-space sends —
+        the kernel-responsiveness floor §3.2(ii) discusses.
+    """
+
+    inter_packet_delay_s: float = DEFAULT_INTER_PACKET_DELAY_S
+    queue_threshold: Optional[int] = DEFAULT_QUEUE_THRESHOLD
+    rate_mbps: float = 54.0
+    ip_datagram_bytes: int = DEFAULT_POWER_PACKET_BYTES
+    syscall_overhead_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.inter_packet_delay_s < 0:
+            raise ConfigurationError(
+                f"inter-packet delay must be >= 0, got {self.inter_packet_delay_s}"
+            )
+        if self.queue_threshold is not None and self.queue_threshold < 1:
+            raise ConfigurationError(
+                f"queue threshold must be >= 1 (or None), got {self.queue_threshold}"
+            )
+        validate_rate(self.rate_mbps)
+        if self.ip_datagram_bytes < 64:
+            raise ConfigurationError(
+                f"power datagrams must be >= 64 bytes, got {self.ip_datagram_bytes}"
+            )
+        if self.syscall_overhead_s < 0:
+            raise ConfigurationError("syscall overhead must be >= 0")
+
+    @property
+    def mac_frame_bytes(self) -> int:
+        """On-air MPDU size of one power frame."""
+        return self.ip_datagram_bytes + MAC_OVERHEAD_BYTES
+
+    @property
+    def effective_period_s(self) -> float:
+        """Actual pacing: the configured delay, floored by syscall overhead."""
+        return max(self.inter_packet_delay_s, self.syscall_overhead_s)

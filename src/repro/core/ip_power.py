@@ -1,0 +1,82 @@
+"""The ``IP_Power`` gate: the kernel half of the PoWiFi mechanism.
+
+§3.2 hoists MAC-layer queue state to the IP layer through a shim
+(Power_MACshim) so that ``ip_local_out_sk()`` can drop *power* datagrams —
+and only power datagrams — when the wireless interface already has enough
+frames queued to keep the channel busy. Client traffic is never touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mac80211.station import Station
+from repro.packets.ipv4 import IPv4Packet
+
+
+@dataclass
+class GateStatistics:
+    """Counters mirroring what the kernel patch would expose in debugfs."""
+
+    considered: int = 0
+    admitted: int = 0
+    dropped: int = 0
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of power datagrams dropped by the gate."""
+        if self.considered == 0:
+            return 0.0
+        return self.dropped / self.considered
+
+
+class IpPowerGate:
+    """Per-interface admission check for power datagrams.
+
+    Parameters
+    ----------
+    station:
+        The wireless interface whose transmit-queue depth gates admission
+        (the Power_MACshim query path).
+    queue_threshold:
+        Datagrams are dropped when ``depth >= queue_threshold``; ``None``
+        disables the check entirely (the NoQueue scheme).
+    """
+
+    def __init__(self, station: Station, queue_threshold: Optional[int]) -> None:
+        if queue_threshold is not None and queue_threshold < 1:
+            raise ConfigurationError(
+                f"queue threshold must be >= 1 or None, got {queue_threshold}"
+            )
+        self.station = station
+        self.queue_threshold = queue_threshold
+        self.stats = GateStatistics()
+
+    def admit(self) -> bool:
+        """Decide whether the next power datagram may be queued.
+
+        Mirrors the per-packet check in ``ip_local_out_sk()``: admitted when
+        the interface queue depth is below the threshold, dropped (with an
+        error code back to user space) otherwise.
+        """
+        self.stats.considered += 1
+        if (
+            self.queue_threshold is not None
+            and self.station.queue_depth >= self.queue_threshold
+        ):
+            self.stats.dropped += 1
+            return False
+        self.stats.admitted += 1
+        return True
+
+    def check_datagram(self, packet: IPv4Packet) -> bool:
+        """Byte-level entry point: gate a real IPv4 datagram.
+
+        Non-power datagrams (no IP_Power option) always pass — the gate
+        never interferes with client traffic.
+        """
+        if not packet.is_power_packet:
+            return True
+        return self.admit()

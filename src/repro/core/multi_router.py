@@ -1,0 +1,103 @@
+"""Multiple PoWiFi routers in range of each other (§8(c)).
+
+The paper argues that co-located PoWiFi routers need not time-multiplex
+their power traffic: power packets are broadcast and never decoded, so
+collisions between them are harmless — each router keeps transmitting and
+the cumulative occupancy at every harvester stays high. This module stands
+up N routers on shared media so that claim can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import Scheme
+from repro.core.occupancy import OccupancyAnalyzer
+from repro.core.router import PoWiFiRouter, RouterConfig
+from repro.errors import ConfigurationError
+from repro.mac80211.medium import Medium
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class MultiRouterResult:
+    """Measured occupancies of a multi-router deployment."""
+
+    #: Per-router cumulative occupancy (their own transmissions only).
+    per_router_cumulative: Dict[str, float]
+    #: Occupancy of *all* power transmissions per channel — what a harvester
+    #: actually experiences (it cannot tell routers apart).
+    aggregate_by_channel: Dict[int, float]
+    #: Fraction of power frames that collided with another router's frames.
+    collision_fraction: float
+
+    @property
+    def aggregate_cumulative(self) -> float:
+        """Summed aggregate occupancy across channels."""
+        return sum(self.aggregate_by_channel.values())
+
+
+class MultiRouterDeployment:
+    """N PoWiFi routers sharing the channels 1/6/11 media.
+
+    Parameters
+    ----------
+    sim, streams:
+        Kernel and randomness.
+    router_count:
+        How many co-located routers to stand up.
+    channels:
+        Channels every router injects on.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        router_count: int = 2,
+        channels: Tuple[int, ...] = (1, 6, 11),
+    ) -> None:
+        if router_count < 1:
+            raise ConfigurationError(f"need >= 1 router, got {router_count}")
+        self.sim = sim
+        self.media: Dict[int, Medium] = {
+            ch: Medium(sim, channel=ch) for ch in channels
+        }
+        self.routers: List[PoWiFiRouter] = []
+        for i in range(router_count):
+            config = RouterConfig(
+                scheme=Scheme.POWIFI, channels=channels, client_channel=channels[0]
+            )
+            self.routers.append(
+                PoWiFiRouter(sim, self.media, streams, config, name=f"router{i}")
+            )
+        # Aggregate analyzers see every transmitter (station_filter=None).
+        self.aggregate_analyzers: Dict[int, OccupancyAnalyzer] = {
+            ch: OccupancyAnalyzer(self.media[ch]) for ch in channels
+        }
+
+    def run(self, duration_s: float) -> MultiRouterResult:
+        """Run all routers concurrently and measure."""
+        for router in self.routers:
+            router.start()
+        self.sim.run(until=duration_s)
+        per_router = {
+            router.name: router.cumulative_occupancy() for router in self.routers
+        }
+        aggregate = {
+            ch: analyzer.occupancy()
+            for ch, analyzer in self.aggregate_analyzers.items()
+        }
+        sent = 0
+        collided = 0
+        for router in self.routers:
+            for injector in router.injectors.values():
+                sent += injector.sent
+                collided += injector.collided
+        return MultiRouterResult(
+            per_router_cumulative=per_router,
+            aggregate_by_channel=aggregate,
+            collision_fraction=(collided / sent if sent else 0.0),
+        )

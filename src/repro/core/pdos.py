@@ -1,0 +1,202 @@
+"""Power denial-of-service (§8(d)) — attack model and a countermeasure.
+
+The paper anticipates a "power denial-of-service" (PDoS) attack: a rogue
+device generates signals purely to trip the PoWiFi router's carrier sense,
+starving harvesters of the power traffic the router would otherwise send.
+This module implements the attack as a saturating jammer station, and a
+simple detection countermeasure the paper's discussion invites: an
+occupancy watchdog that flags windows where the router's achieved power
+occupancy collapses while the medium's busy fraction stays high — the
+signature that airtime is being consumed by traffic that carries no data
+for anyone (or at least none for this BSS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RandomStreams
+
+
+class PdosAttacker:
+    """A rogue station saturating the channel to starve harvesters.
+
+    The cheapest effective attack the §8(d) discussion implies: long frames
+    at a low bit rate, maximising the airtime each transmission denies the
+    router. The attacker is still 802.11-compliant (it carrier-senses), so
+    it cannot be distinguished from a legitimately busy neighbour at the
+    MAC level — which is exactly why detection must be statistical.
+
+    Parameters
+    ----------
+    sim, medium, streams:
+        Kernel, the channel under attack, randomness.
+    frame_bytes, rate_mbps:
+        Attack frame shape; defaults maximise airtime per transmission.
+    duty:
+        Fraction of its transmit opportunities the attacker uses (1.0 is
+        full saturation).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        streams: RandomStreams,
+        frame_bytes: int = 1536,
+        rate_mbps: float = 1.0,
+        duty: float = 1.0,
+        name: str = "pdos-attacker",
+    ) -> None:
+        if not (0.0 < duty <= 1.0):
+            raise ConfigurationError(f"duty must be in (0, 1], got {duty}")
+        self.sim = sim
+        self.station = Station(sim, name=name, streams=streams)
+        medium.attach(self.station)
+        self.frame_bytes = frame_bytes
+        self.rate_mbps = rate_mbps
+        self.duty = duty
+        self.rng = streams.stream(f"pdos:{name}")
+        self.frames_sent = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin the attack (keeps the queue topped up)."""
+        if self._running:
+            return
+        self._running = True
+        self._refill()
+
+    def stop(self) -> None:
+        """Cease fire (queued frames drain)."""
+        self._running = False
+
+    def _refill(self) -> None:
+        if not self._running:
+            return
+        if self.rng.random() <= self.duty:
+            frame = FrameJob(
+                mac_bytes=self.frame_bytes,
+                rate_mbps=self.rate_mbps,
+                kind=FrameKind.BACKGROUND,
+                broadcast=True,
+                flow="pdos",
+                on_complete=self._sent,
+            )
+            self.station.enqueue(frame)
+        else:
+            # Skip this opportunity; check back shortly.
+            self.sim.schedule(1e-3, self._refill, name="pdos_idle")
+
+    def _sent(self, frame: FrameJob, success: bool, time: float) -> None:
+        self.frames_sent += 1
+        self._refill()
+
+
+@dataclass
+class PdosAlert:
+    """One watchdog detection."""
+
+    time_s: float
+    power_occupancy: float
+    medium_busy_fraction: float
+
+
+class PdosWatchdog:
+    """Statistical PDoS detector at the router.
+
+    Every ``window_s`` it compares the router's achieved power occupancy on
+    a channel against the medium's physical busy fraction. Legitimate load
+    consumes airtime *and* leaves the ratio in a normal band; a PDoS jammer
+    pushes the medium busy while the router's share collapses. When the
+    share drops below ``share_threshold`` of the busy airtime for
+    ``consecutive_windows`` windows, an alert fires — the hook a defending
+    router would use to e.g. switch its power traffic to another channel.
+
+    Parameters
+    ----------
+    sim, medium:
+        Kernel and the monitored channel.
+    occupancy_of_router:
+        Callable returning the router's power occupancy over a window
+        (typically ``analyzer.occupancy(start, end)``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        occupancy_of_router,
+        window_s: float = 1.0,
+        share_threshold: float = 0.25,
+        consecutive_windows: int = 2,
+    ) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("window must be > 0")
+        if not (0.0 < share_threshold < 1.0):
+            raise ConfigurationError("share threshold must be in (0, 1)")
+        if consecutive_windows < 1:
+            raise ConfigurationError("need >= 1 consecutive window")
+        self.sim = sim
+        self.medium = medium
+        self.occupancy_of_router = occupancy_of_router
+        self.window_s = window_s
+        self.share_threshold = share_threshold
+        self.consecutive_windows = consecutive_windows
+        self.alerts: List[PdosAlert] = []
+        self._suspicious_streak = 0
+        self._window_start = sim.now
+        self._busy_at_window_start = medium.total_busy_time
+        self._timer: Optional[Event] = None
+        self._running = False
+
+    @property
+    def under_attack(self) -> bool:
+        """True when the detector currently flags a PDoS condition."""
+        return self._suspicious_streak >= self.consecutive_windows
+
+    def start(self) -> None:
+        """Arm the watchdog."""
+        if self._running:
+            return
+        self._running = True
+        self._window_start = self.sim.now
+        self._busy_at_window_start = self.medium.total_busy_time
+        self._timer = self.sim.schedule(self.window_s, self._tick, name="pdos_watchdog")
+
+    def stop(self) -> None:
+        """Disarm."""
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        elapsed = now - self._window_start
+        busy = (self.medium.total_busy_time - self._busy_at_window_start) / elapsed
+        power = self.occupancy_of_router(self._window_start, now)
+        self._window_start = now
+        self._busy_at_window_start = self.medium.total_busy_time
+        # Suspicious: the air is busy but the router's share has collapsed.
+        if busy > 0.5 and power < self.share_threshold * busy:
+            self._suspicious_streak += 1
+            if self._suspicious_streak >= self.consecutive_windows:
+                self.alerts.append(
+                    PdosAlert(
+                        time_s=now,
+                        power_occupancy=power,
+                        medium_busy_fraction=busy,
+                    )
+                )
+        else:
+            self._suspicious_streak = 0
+        self._timer = self.sim.schedule(self.window_s, self._tick, name="pdos_watchdog")

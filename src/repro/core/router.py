@@ -1,0 +1,188 @@
+"""The PoWiFi router: three chipsets, three channels, one design.
+
+§4's prototype runs three Atheros AR9580 interfaces on channels 1, 6 and 11,
+each independently executing the injection algorithm; Internet connectivity
+for clients rides channel 1. :class:`PoWiFiRouter` assembles the pieces:
+one :class:`~repro.mac80211.station.Station` per channel with the
+mac80211-style class-based queue, a beacon source per interface, a
+:class:`~repro.core.injector.PowerInjector` per interface when the scheme
+asks for one, and an :class:`~repro.core.occupancy.OccupancyAnalyzer` per
+channel filtered to the router's own transmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import InjectorConfig, Scheme
+from repro.core.injector import PowerInjector
+from repro.core.occupancy import OccupancyAnalyzer, OccupancySeries, cumulative_series
+from repro.core.schemes import scheme_injector_config
+from repro.errors import ConfigurationError
+from repro.mac80211.beacon import BeaconSource
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.netstack.txqueue import power_vs_client
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Static configuration of a PoWiFi router.
+
+    Attributes
+    ----------
+    scheme:
+        Which §4.1 scheme the router runs.
+    channels:
+        The channels power is injected on (1, 6, 11 in the paper).
+    client_channel:
+        The channel carrying Internet connectivity (1 in the paper).
+    tx_power_dbm:
+        Conducted transmit power (30 dBm in the prototype).
+    equal_share_rate_mbps:
+        Only for :attr:`Scheme.EQUAL_SHARE`.
+    injector_override:
+        Replace the scheme's stock injector parameters (used by the Fig 5
+        sweeps over delay and threshold).
+    beacons:
+        Whether the interfaces beacon (on in every paper experiment).
+    """
+
+    scheme: Scheme = Scheme.POWIFI
+    channels: Tuple[int, ...] = (1, 6, 11)
+    client_channel: int = 1
+    tx_power_dbm: float = 30.0
+    equal_share_rate_mbps: Optional[float] = None
+    injector_override: Optional[InjectorConfig] = None
+    beacons: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ConfigurationError("router needs at least one channel")
+        if self.client_channel not in self.channels:
+            raise ConfigurationError(
+                f"client channel {self.client_channel} not in {self.channels}"
+            )
+
+
+class PoWiFiRouter:
+    """A router instance wired onto per-channel media.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    media:
+        Mapping channel number -> :class:`Medium`; must cover
+        ``config.channels``.
+    streams:
+        Random-stream factory.
+    name:
+        Base name; interfaces are ``"<name>:ch<channel>"``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        media: Dict[int, Medium],
+        streams: RandomStreams,
+        config: Optional[RouterConfig] = None,
+        name: str = "router",
+    ) -> None:
+        self.sim = sim
+        self.config = config or RouterConfig()
+        self.name = name
+        self.stations: Dict[int, Station] = {}
+        self.injectors: Dict[int, PowerInjector] = {}
+        self.beacon_sources: Dict[int, BeaconSource] = {}
+        self.analyzers: Dict[int, OccupancyAnalyzer] = {}
+
+        missing = [ch for ch in self.config.channels if ch not in media]
+        if missing:
+            raise ConfigurationError(f"no medium provided for channels {missing}")
+
+        injector_config = self.config.injector_override
+        if injector_config is None:
+            injector_config = scheme_injector_config(
+                self.config.scheme, self.config.equal_share_rate_mbps
+            )
+
+        for index, channel in enumerate(self.config.channels):
+            station = Station(
+                sim,
+                name=f"{name}:ch{channel}",
+                streams=streams,
+                queue_classifier=power_vs_client,
+            )
+            media[channel].attach(station)
+            self.stations[channel] = station
+            self.analyzers[channel] = OccupancyAnalyzer(
+                media[channel], station_filter=station.name
+            )
+            if self.config.beacons:
+                beacon = BeaconSource(sim, station)
+                self.beacon_sources[channel] = beacon
+            if injector_config is not None:
+                self.injectors[channel] = PowerInjector(
+                    sim, station, injector_config, interface_id=index
+                )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Start beaconing and (if the scheme has one) power injection."""
+        for beacon in self.beacon_sources.values():
+            beacon.start()
+        for injector in self.injectors.values():
+            injector.start()
+
+    def stop(self) -> None:
+        """Stop beacons and injectors."""
+        for beacon in self.beacon_sources.values():
+            beacon.stop()
+        for injector in self.injectors.values():
+            injector.stop()
+
+    # -------------------------------------------------------------- traffic
+
+    @property
+    def client_station(self) -> Station:
+        """The interface carrying Internet connectivity (channel 1)."""
+        return self.stations[self.config.client_channel]
+
+    # --------------------------------------------------------------- metrics
+
+    def occupancy_by_channel(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Dict[int, float]:
+        """Occupancy of the router's transmissions per channel."""
+        return {
+            ch: analyzer.occupancy(start, end)
+            for ch, analyzer in self.analyzers.items()
+        }
+
+    def cumulative_occupancy(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> float:
+        """Sum of per-channel occupancies — the paper's headline metric."""
+        return sum(self.occupancy_by_channel(start, end).values())
+
+    def occupancy_series_by_channel(
+        self, window_s: float, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Dict[int, OccupancySeries]:
+        """Windowed per-channel occupancy series."""
+        return {
+            ch: analyzer.series(window_s, start, end)
+            for ch, analyzer in self.analyzers.items()
+        }
+
+    def cumulative_occupancy_series(
+        self, window_s: float, start: Optional[float] = None, end: Optional[float] = None
+    ) -> OccupancySeries:
+        """Windowed cumulative occupancy series."""
+        return cumulative_series(
+            list(self.occupancy_series_by_channel(window_s, start, end).values())
+        )

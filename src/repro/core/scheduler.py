@@ -1,0 +1,104 @@
+"""Occupancy-cap extension (§4/§6 future feature, implemented here).
+
+The paper observes that cumulative occupancy above 100 % buys nothing for
+harvesting and notes "one can implement simple algorithms that would scale
+back the transmission rate for power packets to ensure that the cumulative
+occupancy remains less than 100 %. We do not currently implement this
+feature." This module implements it: a feedback controller samples the
+router's cumulative occupancy and multiplicatively adjusts every injector's
+inter-packet delay to hold the cumulative occupancy at a target.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.router import PoWiFiRouter
+from repro.errors import ConfigurationError
+from repro.sim.engine import Event, Simulator
+
+
+class OccupancyCap:
+    """Feedback controller holding cumulative occupancy at a target.
+
+    Parameters
+    ----------
+    sim, router:
+        Kernel and the router whose injectors are steered.
+    target:
+        Desired cumulative occupancy (e.g. 0.98 for "just under 100 %").
+    sample_interval_s:
+        Control period; each tick measures the last interval's cumulative
+        occupancy and nudges the injector delays.
+    gain:
+        Multiplicative step per tick; larger reacts faster but oscillates.
+    min_delay_s, max_delay_s:
+        Clamp on the steered inter-packet delay.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: PoWiFiRouter,
+        target: float = 0.98,
+        sample_interval_s: float = 1.0,
+        gain: float = 0.5,
+        min_delay_s: float = 20e-6,
+        max_delay_s: float = 20e-3,
+    ) -> None:
+        if not (0.0 < target):
+            raise ConfigurationError(f"target must be > 0, got {target}")
+        if sample_interval_s <= 0:
+            raise ConfigurationError("sample interval must be > 0")
+        if not router.injectors:
+            raise ConfigurationError("router has no injectors to steer")
+        if min_delay_s <= 0 or max_delay_s <= min_delay_s:
+            raise ConfigurationError("need 0 < min_delay_s < max_delay_s")
+        self.sim = sim
+        self.router = router
+        self.target = target
+        self.sample_interval_s = sample_interval_s
+        self.gain = gain
+        self.min_delay_s = min_delay_s
+        self.max_delay_s = max_delay_s
+        self.history: List[float] = []
+        self._timer: Optional[Event] = None
+        self._window_start = sim.now
+        self._running = False
+
+    def start(self) -> None:
+        """Begin the control loop."""
+        if self._running:
+            return
+        self._running = True
+        self._window_start = self.sim.now
+        self._timer = self.sim.schedule(
+            self.sample_interval_s, self._tick, name="occupancy_cap"
+        )
+
+    def stop(self) -> None:
+        """Stop steering (injector delays keep their last value)."""
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        measured = self.router.cumulative_occupancy(self._window_start, now)
+        self.history.append(measured)
+        self._window_start = now
+        # Multiplicative-increase / multiplicative-decrease on the delay:
+        # occupancy too high -> slow the injectors down, and vice versa.
+        error = measured - self.target
+        factor = 1.0 + self.gain * error
+        factor = min(max(factor, 0.5), 2.0)
+        for injector in self.router.injectors.values():
+            new_delay = injector.config.effective_period_s * factor
+            new_delay = min(max(new_delay, self.min_delay_s), self.max_delay_s)
+            injector.set_inter_packet_delay(new_delay)
+        self._timer = self.sim.schedule(
+            self.sample_interval_s, self._tick, name="occupancy_cap"
+        )

@@ -1,0 +1,67 @@
+"""Scheme factory: injector parameters for each evaluated router mode.
+
+§4.1 compares Baseline, BlindUDP, NoQueue and PoWiFi; §4.1(d) adds
+EqualShare. Each scheme is entirely described by whether an injector runs
+and with what :class:`repro.core.config.InjectorConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import (
+    DEFAULT_INTER_PACKET_DELAY_S,
+    DEFAULT_QUEUE_THRESHOLD,
+    InjectorConfig,
+    Scheme,
+)
+from repro.errors import ConfigurationError
+
+
+def scheme_injector_config(
+    scheme: Scheme,
+    equal_share_rate_mbps: Optional[float] = None,
+) -> Optional[InjectorConfig]:
+    """Injector configuration for ``scheme`` (None = no injector).
+
+    Parameters
+    ----------
+    scheme:
+        The router mode.
+    equal_share_rate_mbps:
+        Required for :attr:`Scheme.EQUAL_SHARE`: the neighbouring pair's
+        bit rate the power packets are matched to.
+    """
+    if scheme is Scheme.BASELINE:
+        return None
+    if scheme is Scheme.BLIND_UDP:
+        # Saturate at the lowest rate: each 1536-byte frame occupies the
+        # channel for ~12.5 ms, so even slow pacing keeps the queue full.
+        return InjectorConfig(
+            inter_packet_delay_s=DEFAULT_INTER_PACKET_DELAY_S,
+            queue_threshold=None,
+            rate_mbps=1.0,
+        )
+    if scheme is Scheme.NO_QUEUE:
+        return InjectorConfig(
+            inter_packet_delay_s=DEFAULT_INTER_PACKET_DELAY_S,
+            queue_threshold=None,
+            rate_mbps=54.0,
+        )
+    if scheme is Scheme.POWIFI:
+        return InjectorConfig(
+            inter_packet_delay_s=DEFAULT_INTER_PACKET_DELAY_S,
+            queue_threshold=DEFAULT_QUEUE_THRESHOLD,
+            rate_mbps=54.0,
+        )
+    if scheme is Scheme.EQUAL_SHARE:
+        if equal_share_rate_mbps is None:
+            raise ConfigurationError(
+                "EqualShare needs the neighbouring pair's bit rate"
+            )
+        return InjectorConfig(
+            inter_packet_delay_s=DEFAULT_INTER_PACKET_DELAY_S,
+            queue_threshold=DEFAULT_QUEUE_THRESHOLD,
+            rate_mbps=equal_share_rate_mbps,
+        )
+    raise ConfigurationError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,211 @@
+"""The §3.2 selective-transmission mechanism, byte-for-byte.
+
+The paper's kernel patch has three named pieces; this module reproduces
+each of them operating on real datagram bytes (the fast descriptor-based
+:mod:`repro.core.injector` is equivalent but skips serialisation for long
+simulations):
+
+* **Power_Socket** — a UDP broadcast socket whose datagrams carry the
+  custom ``IP_Power`` option identifying the target wireless interface;
+* **Power_MACshim** — the shim between the IP stack and mac80211 that lets
+  the IP layer query a wireless interface's queue status by id;
+* **IP_Power** — the per-packet check in ``ip_local_out_sk()`` that drops
+  marked datagrams when the interface queue is at/above threshold,
+  returning an error code to user space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import InjectorConfig, MAC_OVERHEAD_BYTES
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.mac80211.station import Station
+from repro.packets.builder import PowerPacketBuilder
+from repro.packets.dot11 import MacAddress
+from repro.packets.ipv4 import IPv4Packet
+from repro.sim.engine import Event, Simulator
+
+#: The error code ``ip_local_out_sk`` returns for a gated power datagram
+#: (mirrors a kernel -ENOBUFS back to the user-space sender).
+ENOBUFS = 105
+
+
+class PowerMacShim:
+    """Power_MACshim: interface-id -> wireless-queue status queries.
+
+    On socket creation the user-space program stores the integer that
+    "uniquely identifies the corresponding wireless interface at the
+    router" (§3.2); the IP layer resolves that id here.
+    """
+
+    def __init__(self) -> None:
+        self._interfaces: Dict[int, Station] = {}
+
+    def register(self, interface_id: int, station: Station) -> None:
+        """Expose a wireless interface to the IP layer."""
+        if interface_id in self._interfaces:
+            raise ConfigurationError(
+                f"interface id {interface_id} already registered"
+            )
+        self._interfaces[interface_id] = station
+
+    def queue_depth(self, interface_id: int) -> int:
+        """The pending-queue depth for ``interface_id``."""
+        return self._station(interface_id).queue_depth
+
+    def station(self, interface_id: int) -> Station:
+        """The wireless interface behind ``interface_id``."""
+        return self._station(interface_id)
+
+    def _station(self, interface_id: int) -> Station:
+        try:
+            return self._interfaces[interface_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no wireless interface registered under id {interface_id}"
+            ) from None
+
+
+@dataclass
+class IpLocalOutStats:
+    """Counters for the IP-layer transmit path."""
+
+    client_datagrams: int = 0
+    power_admitted: int = 0
+    power_dropped: int = 0
+
+
+class IpLocalOut:
+    """The ``ip_local_out_sk()`` hook with the IP_Power check.
+
+    Every outgoing datagram passes through :meth:`send`. Datagrams carrying
+    the IP_Power option are gated on the target interface's queue depth;
+    everything else passes untouched (the design never penalises client
+    traffic).
+    """
+
+    def __init__(
+        self,
+        shim: PowerMacShim,
+        queue_threshold: Optional[int],
+        power_rate_mbps: float = 54.0,
+    ) -> None:
+        if queue_threshold is not None and queue_threshold < 1:
+            raise ConfigurationError("queue threshold must be >= 1 or None")
+        self.shim = shim
+        self.queue_threshold = queue_threshold
+        self.power_rate_mbps = power_rate_mbps
+        self.stats = IpLocalOutStats()
+
+    def send(self, packet: IPv4Packet) -> int:
+        """Transmit ``packet``; returns 0 or an error code (ENOBUFS).
+
+        The check is applied "after the kernel has determined a route and
+        therefore an interface for the packet" (§3.2) — here the IP_Power
+        option's interface id is that routing decision.
+        """
+        if not packet.is_power_packet:
+            self.stats.client_datagrams += 1
+            return 0
+        interface_id = packet.power_option.interface_id
+        if (
+            self.queue_threshold is not None
+            and self.shim.queue_depth(interface_id) >= self.queue_threshold
+        ):
+            self.stats.power_dropped += 1
+            return ENOBUFS
+        station = self.shim.station(interface_id)
+        raw = packet.encode()
+        frame = FrameJob(
+            mac_bytes=len(raw) + MAC_OVERHEAD_BYTES,
+            rate_mbps=self.power_rate_mbps,
+            kind=FrameKind.POWER,
+            broadcast=True,
+            flow="power",
+            meta={"interface_id": interface_id},
+        )
+        station.enqueue(frame)
+        self.stats.power_admitted += 1
+        return 0
+
+
+class PowerSocket:
+    """Power_Socket: the user-space UDP broadcast socket.
+
+    ``send()`` builds the next 1500-byte IP_Power-marked datagram and hands
+    it to the IP layer, surfacing the kernel's verdict like a syscall
+    return value would.
+    """
+
+    def __init__(
+        self,
+        ip_local_out: IpLocalOut,
+        interface_id: int,
+        router_mac: str = "02:00:00:00:00:01",
+        ip_datagram_bytes: int = 1500,
+    ) -> None:
+        self.ip_local_out = ip_local_out
+        self.interface_id = interface_id
+        self.builder = PowerPacketBuilder(
+            interface_id=interface_id,
+            router_mac=MacAddress.from_string(router_mac),
+            ip_datagram_bytes=ip_datagram_bytes,
+        )
+        self.sent = 0
+        self.rejected = 0
+
+    def send(self) -> int:
+        """Send one power datagram; returns the kernel's error code (0=ok)."""
+        code = self.ip_local_out.send(self.builder.build_ip_datagram())
+        if code == 0:
+            self.sent += 1
+        else:
+            self.rejected += 1
+        return code
+
+
+class UserSpaceInjector:
+    """The §3.2 user-space program, running the full byte path.
+
+    Equivalent to :class:`repro.core.injector.PowerInjector` but every
+    datagram is built, serialised and gated through the byte-level
+    Power_Socket → ip_local_out → Power_MACshim pipeline. Used by the
+    fidelity tests; the descriptor-based injector remains the fast path.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket: PowerSocket,
+        config: InjectorConfig,
+    ) -> None:
+        self.sim = sim
+        self.socket = socket
+        self.config = config
+        self._timer: Optional[Event] = None
+        self._running = False
+
+    def start(self) -> None:
+        """Start the send loop."""
+        if self._running:
+            return
+        self._running = True
+        self._timer = self.sim.schedule(0.0, self._tick, name="byte_inject")
+
+    def stop(self) -> None:
+        """Stop the loop."""
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.socket.send()
+        self._timer = self.sim.schedule(
+            self.config.effective_period_s, self._tick, name="byte_inject"
+        )

@@ -1,0 +1,104 @@
+"""Shared scaffolding for the experiment drivers.
+
+Builds the "busy office" environment every §4 experiment runs in: three
+channel media, a PoWiFi router in one of the §4.1 schemes, ambient
+background traffic, and a client station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import InjectorConfig, Scheme
+from repro.core.router import PoWiFiRouter, RouterConfig
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.office import OfficeBackground
+
+#: The §2 observation: ambient office occupancy 10-40 %, mostly low end.
+DEFAULT_OFFICE_OCCUPANCY = 0.25
+
+
+@dataclass
+class Testbed:
+    """A wired-up office testbed for one experiment run."""
+
+    sim: Simulator
+    streams: RandomStreams
+    media: Dict[int, Medium]
+    router: PoWiFiRouter
+    client: Station
+    office: Optional[OfficeBackground]
+
+    def start(self) -> None:
+        """Start the router (beacons + injectors) and background traffic."""
+        self.router.start()
+        if self.office is not None:
+            self.office.start()
+
+
+def build_testbed(
+    scheme: Scheme,
+    seed: int = 0,
+    channels: Tuple[int, ...] = (1, 6, 11),
+    office_occupancy: Optional[float] = DEFAULT_OFFICE_OCCUPANCY,
+    injector_override: Optional[InjectorConfig] = None,
+    equal_share_rate_mbps: Optional[float] = None,
+) -> Testbed:
+    """Stand up the standard §4 testbed.
+
+    Parameters
+    ----------
+    scheme:
+        Which router scheme to run.
+    seed:
+        Master random seed (deterministic runs).
+    channels:
+        Channels the router occupies.
+    office_occupancy:
+        Ambient per-channel background load; ``None`` disables background
+        traffic entirely (the Fig 5 "absence of client traffic" setup still
+        keeps background — pass 0.0 or None for a silent environment).
+    injector_override:
+        Replace the scheme's stock injector parameters.
+    equal_share_rate_mbps:
+        For :attr:`Scheme.EQUAL_SHARE`.
+    """
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    media = {ch: Medium(sim, channel=ch) for ch in channels}
+    config = RouterConfig(
+        scheme=scheme,
+        channels=channels,
+        client_channel=channels[0],
+        injector_override=injector_override,
+        equal_share_rate_mbps=equal_share_rate_mbps,
+    )
+    router = PoWiFiRouter(sim, media, streams, config)
+    client = Station(sim, name="client", streams=streams)
+    media[channels[0]].attach(client)
+    office = None
+    if office_occupancy:
+        office = OfficeBackground(
+            sim, media, streams, {ch: office_occupancy for ch in channels}
+        )
+    return Testbed(
+        sim=sim,
+        streams=streams,
+        media=media,
+        router=router,
+        client=client,
+        office=office,
+    )
+
+
+#: The §4.1 scheme set, in the order Fig 6's legends list them.
+FIG6_SCHEMES: Tuple[Scheme, ...] = (
+    Scheme.BASELINE,
+    Scheme.POWIFI,
+    Scheme.NO_QUEUE,
+    Scheme.BLIND_UDP,
+)

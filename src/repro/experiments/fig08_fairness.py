@@ -1,0 +1,92 @@
+"""Fig 8: fairness to neighbouring Wi-Fi networks (§4.1(d)).
+
+A neighbouring router–client pair runs saturated UDP at a chosen bit rate on
+channel 1 while our router transmits power packets under one of three
+schemes: BlindUDP (1 Mb/s), EqualShare (power packets at the *neighbour's*
+bit rate) and PoWiFi (54 Mb/s). The paper's claim: PoWiFi gives the
+neighbour *better* than the equal-share throughput because 54 Mb/s frames
+occupy the channel for less time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.config import Scheme
+from repro.experiments.base import build_testbed
+from repro.mac80211.station import Station
+from repro.netstack.udp import UdpFlow
+
+#: Neighbour bit rates swept in Fig 8 (Mb/s).
+DEFAULT_NEIGHBOR_RATES: Tuple[float, ...] = (1, 2, 5.5, 11, 12, 18, 24, 36, 48, 54)
+
+#: The three schemes Fig 8 compares.
+FIG8_SCHEMES: Tuple[Scheme, ...] = (
+    Scheme.EQUAL_SHARE,
+    Scheme.POWIFI,
+    Scheme.BLIND_UDP,
+)
+
+
+@dataclass
+class FairnessResult:
+    """Fig 8: neighbour throughput per (scheme, neighbour bit rate)."""
+
+    #: scheme -> {neighbour rate -> achieved throughput Mb/s}.
+    throughput: Dict[Scheme, Dict[float, float]]
+
+    def powifi_beats_equal_share(self, rate_mbps: float) -> bool:
+        """The paper's headline fairness claim at one neighbour rate."""
+        return (
+            self.throughput[Scheme.POWIFI][rate_mbps]
+            >= self.throughput[Scheme.EQUAL_SHARE][rate_mbps]
+        )
+
+
+def measure_neighbor_throughput(
+    scheme: Scheme,
+    neighbor_rate_mbps: float,
+    duration_s: float = 2.0,
+    seed: int = 0,
+) -> float:
+    """Neighbour pair's achieved UDP throughput under one scheme."""
+    bed = build_testbed(
+        scheme,
+        seed=seed,
+        channels=(1,),
+        office_occupancy=None,  # the Fig 8 setup isolates the two networks
+        equal_share_rate_mbps=(
+            neighbor_rate_mbps if scheme is Scheme.EQUAL_SHARE else None
+        ),
+    )
+    neighbor_ap = Station(bed.sim, name="neighbor-ap", streams=bed.streams)
+    bed.media[1].attach(neighbor_ap)
+    # Saturated UDP: offer well past the channel capacity at this bit rate.
+    flow = UdpFlow(
+        bed.sim,
+        neighbor_ap,
+        target_rate_mbps=min(60.0, neighbor_rate_mbps * 1.5 + 5.0),
+        rate_mbps=neighbor_rate_mbps,
+        flow_label="neighbor",
+    )
+    bed.start()
+    flow.start()
+    bed.sim.run(until=duration_s)
+    return flow.delivered_mbps(0.0, duration_s)
+
+
+def run_fig08(
+    schemes: Sequence[Scheme] = FIG8_SCHEMES,
+    neighbor_rates: Sequence[float] = DEFAULT_NEIGHBOR_RATES,
+    duration_s: float = 2.0,
+    seed: int = 0,
+) -> FairnessResult:
+    """The full Fig 8 sweep."""
+    throughput: Dict[Scheme, Dict[float, float]] = {}
+    for scheme in schemes:
+        throughput[scheme] = {
+            rate: measure_neighbor_throughput(scheme, rate, duration_s, seed)
+            for rate in neighbor_rates
+        }
+    return FairnessResult(throughput=throughput)

@@ -1,0 +1,58 @@
+"""Fig 11: temperature-sensor update rate vs distance (§5.1).
+
+Both sensor builds at increasing distances from a PoWiFi router; the §5.1
+experiments measured an average cumulative occupancy of 91.3 %. Claims:
+rates fall with distance; the builds are comparable up close; beyond ~15 ft
+the battery-recharging build wins; ranges are 20 ft (battery-free) and
+28 ft (energy-neutral battery-recharging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rf.link import LinkBudget, Transmitter
+from repro.sensors.temperature import TemperatureSensor
+
+#: Distances swept (feet).
+DEFAULT_DISTANCES_FEET: Tuple[float, ...] = (1, 2, 3, 5, 8, 10, 12, 15, 18, 20, 22, 25, 28, 30)
+
+#: The §5.1 experiments' measured average cumulative occupancy.
+FIG11_OCCUPANCY = 0.913
+
+
+@dataclass
+class TemperatureSweepResult:
+    """Fig 11's two curves plus the derived operating ranges."""
+
+    #: distance ft -> update rate (reads/s), battery-free build.
+    battery_free: Dict[float, float]
+    #: distance ft -> energy-neutral update rate, battery-recharging build.
+    battery_recharging: Dict[float, float]
+    battery_free_range_feet: float
+    battery_recharging_range_feet: float
+
+
+def run_fig11(
+    distances_feet: Sequence[float] = DEFAULT_DISTANCES_FEET,
+    occupancy: float = FIG11_OCCUPANCY,
+) -> TemperatureSweepResult:
+    """The full Fig 11 sweep."""
+    link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+    free = TemperatureSensor(battery_recharging=False)
+    recharging = TemperatureSensor(battery_recharging=True)
+    free_curve = {
+        d: free.evaluate_at(link, d, occupancy).update_rate_hz
+        for d in distances_feet
+    }
+    recharging_curve = {
+        d: recharging.evaluate_at(link, d, occupancy).update_rate_hz
+        for d in distances_feet
+    }
+    return TemperatureSweepResult(
+        battery_free=free_curve,
+        battery_recharging=recharging_curve,
+        battery_free_range_feet=free.range_feet(link, occupancy),
+        battery_recharging_range_feet=recharging.range_feet(link, occupancy),
+    )

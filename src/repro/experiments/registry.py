@@ -1,0 +1,46 @@
+"""Registry mapping experiment ids to their driver callables.
+
+Populated lazily to keep import costs low; ids follow the paper's figure
+and table numbering.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+
+#: Experiment id -> "module:callable" within repro.experiments.
+EXPERIMENTS: Dict[str, str] = {
+    "fig1": "repro.experiments.fig01_leakage:run_fig01",
+    "fig5": "repro.experiments.fig05_delay_sweep:run_fig05",
+    "fig6a": "repro.experiments.fig06_traffic:run_fig06a",
+    "fig6b": "repro.experiments.fig06_traffic:run_fig06b",
+    "fig6c": "repro.experiments.fig06_traffic:run_fig06c",
+    "fig7": "repro.experiments.fig06_traffic:run_fig07",
+    "fig8": "repro.experiments.fig08_fairness:run_fig08",
+    "fig9": "repro.experiments.fig09_return_loss:run_fig09",
+    "fig10": "repro.experiments.fig10_rectifier:run_fig10",
+    "fig11": "repro.experiments.fig11_temperature:run_fig11",
+    "fig12": "repro.experiments.fig12_camera:run_fig12",
+    "fig13": "repro.experiments.fig13_walls:run_fig13",
+    "fig14": "repro.experiments.fig14_homes:run_fig14",
+    "fig15": "repro.experiments.fig15_home_sensor:run_fig15",
+    "table1": "repro.experiments.table1_homes:run_table1",
+    "sec8a": "repro.experiments.sec8a_charger:run_sec8a",
+    "sec8c": "repro.experiments.sec8c_multi_router:run_sec8c",
+}
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """Resolve an experiment id to its driver function."""
+    try:
+        target = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    module_name, func_name = target.split(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)

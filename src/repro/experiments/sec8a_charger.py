@@ -1,0 +1,43 @@
+"""§8(a): the Wi-Fi charging hotspot (Fig 16).
+
+The USB charger sits 5–7 cm from the PoWiFi router and charges a Jawbone
+UP24. Paper measurement: 2.3 mA average current; 0 → 41 % charge in 2.5 h.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sensors.charger import (
+    ChargeResult,
+    UsbWiFiCharger,
+    hotspot_incident_power_dbm,
+)
+
+
+@dataclass
+class ChargerExperimentResult:
+    """The §8(a) measurement pair."""
+
+    incident_power_dbm: float
+    session: ChargeResult
+
+    @property
+    def average_current_ma(self) -> float:
+        """Paper: 2.3 mA."""
+        return self.session.average_current_ma
+
+    @property
+    def charge_percent_after(self) -> float:
+        """Paper: 41 % after 2.5 hours."""
+        return self.session.charge_fraction_gained * 100.0
+
+
+def run_sec8a(
+    distance_cm: float = 6.0, duration_hours: float = 2.5
+) -> ChargerExperimentResult:
+    """Run the charging-hotspot session."""
+    incident = hotspot_incident_power_dbm(distance_cm)
+    charger = UsbWiFiCharger()
+    session = charger.charge_session(incident, duration_hours)
+    return ChargerExperimentResult(incident_power_dbm=incident, session=session)

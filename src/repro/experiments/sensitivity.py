@@ -1,0 +1,103 @@
+"""Calibration-sensitivity analysis: how robust are the reproduced results
+to the simulator's own assumptions?
+
+The reproduction fixes several environmental parameters the paper could not
+report precisely (indoor path-loss exponent, ambient office load, per-AP
+neighbourhood utilisation). This module sweeps them and reports how the
+headline results move — the reproducibility equivalent of an error-bar
+analysis, and the honest answer to "did you just tune it until it matched?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.config import Scheme
+from repro.experiments.base import build_testbed
+from repro.rf.link import LinkBudget, Transmitter
+from repro.rf.propagation import LogDistancePathLoss
+from repro.sensors.camera import WiFiCamera
+from repro.sensors.temperature import TemperatureSensor
+
+
+@dataclass
+class PathLossSensitivity:
+    """Sensor ranges as a function of the path-loss exponent."""
+
+    #: exponent -> (temp-free range ft, temp-recharging, camera-free).
+    ranges: Dict[float, tuple] = field(default_factory=dict)
+
+    def spread_feet(self) -> float:
+        """Max-min of the battery-free temperature range over the sweep."""
+        values = [r[0] for r in self.ranges.values()]
+        return max(values) - min(values)
+
+
+def sweep_path_loss_exponent(
+    exponents: Sequence[float] = (1.7, 1.8, 1.85, 1.9, 2.0),
+) -> PathLossSensitivity:
+    """Sweep the indoor exponent and report the §5 operating ranges.
+
+    The calibrated value (1.85) reproduces the paper's 20/28/17 ft; nearby
+    exponents must keep the *ordering* (camera < temp-free < recharging)
+    even as absolute ranges move by a few feet.
+    """
+    result = PathLossSensitivity()
+    for exponent in exponents:
+        link = LinkBudget(
+            Transmitter(tx_power_dbm=30.0),
+            path_loss=LogDistancePathLoss(exponent=exponent),
+        )
+        temp_free = TemperatureSensor(battery_recharging=False).range_feet(link)
+        temp_recharging = TemperatureSensor(battery_recharging=True).range_feet(link)
+        camera_free = WiFiCamera(battery_recharging=False).range_feet(link)
+        result.ranges[exponent] = (temp_free, temp_recharging, camera_free)
+    return result
+
+
+@dataclass
+class OfficeLoadSensitivity:
+    """PoWiFi-vs-baseline client throughput across ambient office loads."""
+
+    #: office occupancy -> (baseline Mb/s, powifi Mb/s).
+    throughput: Dict[float, tuple] = field(default_factory=dict)
+
+    def max_powifi_penalty(self) -> float:
+        """Worst relative client-throughput loss PoWiFi ever causes."""
+        worst = 0.0
+        for baseline, powifi in self.throughput.values():
+            if baseline > 0:
+                worst = max(worst, (baseline - powifi) / baseline)
+        return worst
+
+
+def sweep_office_load(
+    loads: Sequence[float] = (0.1, 0.25, 0.4, 0.55),
+    offered_mbps: float = 10.0,
+    duration_s: float = 2.0,
+    seed: int = 0,
+) -> OfficeLoadSensitivity:
+    """Sweep ambient load; the do-no-harm property must hold at every level.
+
+    This is the key robustness claim: whatever the building's actual load
+    was, PoWiFi ≈ Baseline for the client.
+    """
+    from repro.netstack.udp import UdpFlow
+
+    result = OfficeLoadSensitivity()
+    for load in loads:
+        pair = []
+        for scheme in (Scheme.BASELINE, Scheme.POWIFI):
+            bed = build_testbed(
+                scheme, seed=seed, channels=(1,), office_occupancy=load
+            )
+            flow = UdpFlow(
+                bed.sim, bed.router.client_station, target_rate_mbps=offered_mbps
+            )
+            bed.start()
+            flow.start()
+            bed.sim.run(until=duration_s)
+            pair.append(flow.delivered_mbps(0.5, duration_s))
+        result.throughput[load] = tuple(pair)
+    return result

@@ -1,0 +1,98 @@
+"""Schottky diode model (Skyworks SMS7630-061, the paper's rectifier diode).
+
+The SMS7630 is chosen in §3.1 for its low threshold voltage, low junction
+capacitance and minimal package parasitics in the 0201 SMT package. SPICE
+parameters below follow the Skyworks datasheet [16].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CircuitError
+
+#: Thermal voltage kT/q at 300 K, volts.
+THERMAL_VOLTAGE = 0.02585
+
+
+@dataclass(frozen=True)
+class DiodeParameters:
+    """Shockley + parasitic parameters of a Schottky diode.
+
+    Attributes
+    ----------
+    saturation_current_a:
+        ``Is`` — a large saturation current is what gives zero-bias Schottky
+        detectors their low effective threshold.
+    ideality:
+        Emission coefficient ``n``.
+    series_resistance_ohm:
+        ``Rs`` — ohmic loss in series with the junction.
+    junction_capacitance_f:
+        ``Cj0`` — shunts RF around the junction at 2.4 GHz, a dominant
+        high-frequency loss term.
+    breakdown_voltage_v:
+        Reverse breakdown; bounds the rectifier's maximum output swing.
+    """
+
+    saturation_current_a: float = 5e-6
+    ideality: float = 1.05
+    series_resistance_ohm: float = 20.0
+    junction_capacitance_f: float = 0.14e-12
+    breakdown_voltage_v: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.saturation_current_a <= 0:
+            raise CircuitError("saturation current must be > 0")
+        if self.ideality < 1.0:
+            raise CircuitError("ideality must be >= 1")
+        if self.series_resistance_ohm < 0:
+            raise CircuitError("series resistance must be >= 0")
+
+    # ----------------------------------------------------------- DC behaviour
+
+    def current(self, voltage_v: float) -> float:
+        """Shockley junction current at forward ``voltage_v`` (Rs ignored).
+
+        >>> d = DiodeParameters()
+        >>> d.current(0.0)
+        0.0
+        >>> d.current(0.1) > 100 * d.current(0.01)
+        False
+        """
+        x = voltage_v / (self.ideality * THERMAL_VOLTAGE)
+        # Clamp to avoid overflow for voltages far beyond physical operation.
+        x = min(x, 60.0)
+        return self.saturation_current_a * (math.exp(x) - 1.0)
+
+    def forward_drop(self, current_a: float) -> float:
+        """Junction + series voltage at forward ``current_a``.
+
+        The inverse of :meth:`current`, plus the IR term — the per-diode
+        loss the voltage-doubler analysis charges against the output.
+        """
+        if current_a < 0:
+            raise CircuitError(f"forward current must be >= 0, got {current_a}")
+        junction = (
+            self.ideality
+            * THERMAL_VOLTAGE
+            * math.log1p(current_a / self.saturation_current_a)
+        )
+        return junction + current_a * self.series_resistance_ohm
+
+    def zero_bias_resistance(self) -> float:
+        """Small-signal junction resistance at zero bias, ``nVT/Is``.
+
+        Sets the unloaded rectifier's RF input impedance scale — the reason
+        an *unloaded* rectifier is badly matched and the DC–DC co-design
+        matters (§3.1).
+
+        >>> round(DiodeParameters().zero_bias_resistance())
+        5428
+        """
+        return self.ideality * THERMAL_VOLTAGE / self.saturation_current_a
+
+
+#: The paper's diode.
+SMS7630 = DiodeParameters()

@@ -1,0 +1,110 @@
+"""Standards-correct frame airtime computation.
+
+Airtime is the quantity everything in PoWiFi turns on: the occupancy metric
+is Σ size/rate (§4), fairness comes from 54 Mb/s frames occupying the channel
+briefly (§3.2(iii)), and harvested energy is proportional to busy airtime.
+
+For ERP-OFDM (802.11g):
+    T = preamble + symbols * ceil((16 + 8·bytes + 6) / (4·rate)) + signal_ext
+For DSSS/HR-DSSS (802.11b):
+    T = PLCP preamble+header + 8·bytes / rate
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.mac80211.rates import (
+    PHY_80211G,
+    PhyParameters,
+    basic_rate_for,
+    is_dsss_rate,
+    is_ht_rate,
+    is_ofdm_rate,
+    validate_rate,
+)
+
+#: HT rate (Mb/s) -> (MCS index, short guard interval).
+_HT_RATE_TO_MCS = {
+    6.5: (0, False),
+    13.0: (1, False),
+    19.5: (2, False),
+    26.0: (3, False),
+    39.0: (4, False),
+    52.0: (5, False),
+    58.5: (6, False),
+    65.0: (7, False),
+    72.2: (7, True),
+}
+
+#: MAC-layer size of an 802.11 ACK control frame (bytes).
+ACK_FRAME_BYTES = 14
+
+
+def frame_airtime_s(
+    mac_bytes: int,
+    rate_mbps: float,
+    phy: PhyParameters = PHY_80211G,
+) -> float:
+    """On-air duration in seconds of a MAC frame of ``mac_bytes`` bytes.
+
+    ``mac_bytes`` counts the entire MPDU: MAC header, payload and FCS.
+
+    >>> round(frame_airtime_s(1536, 54.0) * 1e6, 1)  # PoWiFi power frame
+    254.0
+    >>> round(frame_airtime_s(1536, 1.0) * 1e6, 1)   # BlindUDP frame
+    12480.0
+    """
+    if mac_bytes <= 0:
+        raise ConfigurationError(f"frame size must be > 0 bytes, got {mac_bytes}")
+    validate_rate(rate_mbps)
+    if is_ht_rate(rate_mbps):
+        from repro.mac80211.ht import ht_frame_airtime_s
+
+        mcs, short_gi = _HT_RATE_TO_MCS[rate_mbps]
+        return ht_frame_airtime_s(mac_bytes, mcs, short_gi=short_gi, phy=phy)
+    if is_ofdm_rate(rate_mbps):
+        data_bits_per_symbol = rate_mbps * phy.ofdm_symbol * 1e6  # = 4 * rate
+        service_and_tail_bits = 16 + 6
+        symbols = math.ceil(
+            (service_and_tail_bits + 8 * mac_bytes) / data_bits_per_symbol
+        )
+        return phy.ofdm_preamble + symbols * phy.ofdm_symbol + phy.ofdm_signal_extension
+    if is_dsss_rate(rate_mbps):
+        preamble = (
+            phy.dsss_long_preamble if rate_mbps == 1.0 else phy.dsss_short_preamble
+        )
+        return preamble + (8 * mac_bytes) / (rate_mbps * 1e6)
+    raise ConfigurationError(f"unclassifiable rate {rate_mbps} Mb/s")
+
+
+def ack_airtime_s(data_rate_mbps: float, phy: PhyParameters = PHY_80211G) -> float:
+    """Duration of the ACK answering a unicast frame sent at ``data_rate_mbps``."""
+    return frame_airtime_s(ACK_FRAME_BYTES, basic_rate_for(data_rate_mbps), phy)
+
+
+def effective_throughput_mbps(
+    payload_bytes: int,
+    mac_overhead_bytes: int,
+    rate_mbps: float,
+    phy: PhyParameters = PHY_80211G,
+    with_ack: bool = True,
+    mean_backoff_slots: float = None,
+) -> float:
+    """Upper-bound MAC throughput for back-to-back unicast frames.
+
+    Accounts for DIFS, mean initial backoff, the data frame, SIFS and the
+    ACK. Used as the saturation reference in the iperf experiments.
+    """
+    if mean_backoff_slots is None:
+        mean_backoff_slots = phy.cw_min / 2.0
+    mac_bytes = payload_bytes + mac_overhead_bytes
+    cycle = (
+        phy.difs
+        + mean_backoff_slots * phy.slot_time
+        + frame_airtime_s(mac_bytes, rate_mbps, phy)
+    )
+    if with_ack:
+        cycle += phy.sifs + ack_airtime_s(rate_mbps, phy)
+    return (8 * payload_bytes) / cycle / 1e6

@@ -1,0 +1,86 @@
+"""Beacon generation.
+
+Every AP interface beacons roughly every 102.4 ms (100 TU). Beacons matter
+twice in PoWiFi: they are part of the router's transmissions the harvester
+draws power from, and they appear in the occupancy captures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.mac80211.station import Station
+from repro.sim.engine import Event, Simulator
+
+#: On-air size of a typical beacon with basic IEs (bytes).
+BEACON_FRAME_BYTES = 120
+
+#: Beacons go out at a basic rate; 802.11g APs commonly use 6 Mb/s.
+BEACON_RATE_MBPS = 6.0
+
+#: 100 time units of 1024 us.
+BEACON_INTERVAL_S = 0.1024
+
+
+class BeaconSource:
+    """Periodically enqueues beacon frames on a station.
+
+    Parameters
+    ----------
+    sim, station:
+        Kernel and the AP interface that beacons.
+    interval_s:
+        Beacon period; 102.4 ms by default.
+    rate_mbps:
+        PHY rate for the beacons.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        station: Station,
+        interval_s: float = BEACON_INTERVAL_S,
+        rate_mbps: float = BEACON_RATE_MBPS,
+    ) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError(f"beacon interval must be > 0, got {interval_s}")
+        self.sim = sim
+        self.station = station
+        self.interval_s = interval_s
+        self.rate_mbps = rate_mbps
+        self.beacons_sent = 0
+        self._timer: Optional[Event] = None
+        self._running = False
+
+    def start(self) -> None:
+        """Begin beaconing."""
+        if self._running:
+            return
+        self._running = True
+        self._timer = self.sim.schedule(0.0, self._beacon, name="beacon")
+
+    def stop(self) -> None:
+        """Stop beaconing."""
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _beacon(self) -> None:
+        if not self._running:
+            return
+        frame = FrameJob(
+            mac_bytes=BEACON_FRAME_BYTES,
+            rate_mbps=self.rate_mbps,
+            kind=FrameKind.BEACON,
+            broadcast=True,
+            flow="beacon",
+            on_complete=self._sent,
+        )
+        self.station.enqueue(frame)
+        self._timer = self.sim.schedule(self.interval_s, self._beacon, name="beacon")
+
+    def _sent(self, frame: FrameJob, success: bool, time: float) -> None:
+        self.beacons_sent += 1

@@ -1,0 +1,49 @@
+"""2.4 GHz channel plan.
+
+PoWiFi transmits power on the three non-overlapping US channels 1, 6 and 11;
+together they span the 72 MHz band (2.401–2.473 GHz) the harvester's matching
+network must cover (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Channel number -> centre frequency in MHz (IEEE 2.4 GHz plan).
+CHANNEL_FREQUENCIES_MHZ: Dict[int, int] = {
+    ch: 2407 + 5 * ch for ch in range(1, 14)
+}
+CHANNEL_FREQUENCIES_MHZ[14] = 2484
+
+#: The non-overlapping channels PoWiFi injects power on.
+POWIFI_CHANNELS: Tuple[int, int, int] = (1, 6, 11)
+
+#: 20 MHz nominal channel width.
+CHANNEL_WIDTH_HZ = 20e6
+
+#: Band edges of the 72 MHz the harvester must match (§3.1, Fig. 9).
+WIFI_BAND_START_HZ = 2.401e9
+WIFI_BAND_STOP_HZ = 2.473e9
+
+
+def channel_frequency_hz(channel: int) -> float:
+    """Centre frequency of 2.4 GHz ``channel`` in Hz.
+
+    >>> channel_frequency_hz(6) / 1e9
+    2.437
+    """
+    try:
+        return CHANNEL_FREQUENCIES_MHZ[channel] * 1e6
+    except KeyError:
+        raise ConfigurationError(f"unknown 2.4 GHz channel {channel!r}") from None
+
+
+def channels_overlap(a: int, b: int) -> bool:
+    """True when channels ``a`` and ``b`` overlap spectrally (< 5 apart)."""
+    channel_frequency_hz(a)
+    channel_frequency_hz(b)
+    if {a, b} & {14}:
+        return a == b  # channel 14 is offset; treat as isolated
+    return abs(a - b) < 5

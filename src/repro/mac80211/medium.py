@@ -1,0 +1,233 @@
+"""The shared wireless medium: carrier sense and DCF contention resolution.
+
+One :class:`Medium` models one 2.4 GHz channel. Stations attach to it and
+contend per the 802.11 DCF: when the medium goes idle, every station with a
+pending frame waits DIFS plus its slotted backoff; the station(s) whose
+counter expires first transmit. Simultaneous expiries collide. Unicast frames
+are acknowledged and retransmitted with binary-exponential backoff; broadcast
+frames (PoWiFi power packets) are fire-and-forget.
+
+The medium publishes every transmission to observers — monitor captures,
+occupancy meters and harvester couplers subscribe to these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import MediumError
+from repro.mac80211.airtime import ack_airtime_s, frame_airtime_s
+from repro.mac80211.frames import FrameJob
+from repro.mac80211.rates import PHY_80211G, PhyParameters
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.mac80211.station import Station
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """One medium-busy period caused by one or more frames.
+
+    Attributes
+    ----------
+    start:
+        Simulation time the first bit hit the air.
+    duration:
+        Busy duration including any SIFS+ACK exchange.
+    airtime:
+        Duration of the (longest) data frame alone.
+    channel:
+        Channel number this medium models.
+    transmissions:
+        ``(station_name, frame)`` pairs; more than one entry means collision.
+    collided:
+        True when two or more stations transmitted simultaneously.
+    success:
+        For unicast: whether the (single) frame was acknowledged.
+    """
+
+    start: float
+    duration: float
+    airtime: float
+    channel: int
+    transmissions: Tuple[Tuple[str, FrameJob], ...]
+    collided: bool
+    success: bool
+
+    @property
+    def end(self) -> float:
+        """Time the medium went idle again."""
+        return self.start + self.duration
+
+
+MediumObserver = Callable[[TransmissionRecord], None]
+
+
+class Medium:
+    """A single-channel CSMA/CA medium.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    channel:
+        2.4 GHz channel number (used for labelling and capture headers).
+    phy:
+        MAC/PHY timing constants.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: int = 1,
+        phy: PhyParameters = PHY_80211G,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.phy = phy
+        self.stations: List["Station"] = []
+        self._busy_until = 0.0
+        self._round_event: Optional[Event] = None
+        self._round_contenders: List["Station"] = []
+        self._round_started_at = 0.0
+        self._observers: List[MediumObserver] = []
+        self.total_busy_time = 0.0
+        self.transmission_count = 0
+        self.collision_count = 0
+
+    # ------------------------------------------------------------------ wiring
+
+    def attach(self, station: "Station") -> None:
+        """Register a station on this channel."""
+        if station in self.stations:
+            raise MediumError(f"station {station.name!r} already attached")
+        self.stations.append(station)
+        station._medium = self
+
+    def add_observer(self, observer: MediumObserver) -> None:
+        """Subscribe a callback to every :class:`TransmissionRecord`."""
+        self._observers.append(observer)
+
+    @property
+    def is_busy(self) -> bool:
+        """True while a transmission (plus ACK exchange) is on the air."""
+        return self.sim.now < self._busy_until
+
+    # --------------------------------------------------------------- contention
+
+    def notify_ready(self) -> None:
+        """A station's queue became non-empty; start a round if possible.
+
+        Called by stations on enqueue and by the medium itself when a busy
+        period ends. If the medium is busy, the round starts automatically
+        when it clears; if a round is already pending, the newcomer joins
+        the next one (a close approximation of joining mid-countdown).
+        """
+        if self.is_busy or self._round_event is not None:
+            return
+        self._schedule_round()
+
+    def _schedule_round(self) -> None:
+        contenders = [s for s in self.stations if s.has_pending()]
+        if not contenders:
+            return
+        for station in contenders:
+            station.ensure_backoff()
+        min_slots = min(s.backoff_remaining for s in contenders)
+        wait = self.phy.difs + min_slots * self.phy.slot_time
+        self._round_contenders = contenders
+        self._round_started_at = self.sim.now
+        self._round_event = self.sim.schedule(
+            wait, self._resolve_round, min_slots, name="dcf_round"
+        )
+
+    def _resolve_round(self, min_slots: int) -> None:
+        self._round_event = None
+        # Re-validate: queues may have drained (e.g. a flow was cancelled).
+        contenders = [s for s in self._round_contenders if s.has_pending()]
+        self._round_contenders = []
+        if not contenders:
+            self.notify_ready()
+            return
+        # A contender whose own transmission completed at the same instant
+        # the round was scheduled (event-ordering tie at a busy boundary)
+        # arrives here with a reset backoff; it re-draws and contends fresh.
+        for station in contenders:
+            station.ensure_backoff()
+        winners = [s for s in contenders if s.backoff_remaining <= min_slots]
+        losers = [s for s in contenders if s.backoff_remaining > min_slots]
+        for station in losers:
+            station.backoff_remaining -= min_slots
+        if not winners:
+            # All original minimum-backoff stations drained; restart.
+            self.notify_ready()
+            return
+        self._transmit(winners)
+
+    def _transmit(self, winners: Sequence["Station"]) -> None:
+        collided = len(winners) > 1
+        pairs: List[Tuple["Station", FrameJob]] = []
+        airtime = 0.0
+        for station in winners:
+            frame = station.begin_transmission()
+            pairs.append((station, frame))
+            airtime = max(airtime, frame_airtime_s(frame.mac_bytes, frame.rate_mbps, self.phy))
+        duration = airtime
+        success = not collided
+        # Only a clean unicast frame is followed by a SIFS + ACK exchange.
+        if not collided:
+            station, frame = pairs[0]
+            if not frame.broadcast:
+                if station.unicast_loss_probability > 0.0:
+                    if station.loss_rng.random() < station.unicast_loss_probability:
+                        success = False
+                if success:
+                    duration += self.phy.sifs + ack_airtime_s(frame.rate_mbps, self.phy)
+        start = self.sim.now
+        self._busy_until = start + duration
+        self.total_busy_time += duration
+        self.transmission_count += len(pairs)
+        if collided:
+            self.collision_count += 1
+        record = TransmissionRecord(
+            start=start,
+            duration=duration,
+            airtime=airtime,
+            channel=self.channel,
+            transmissions=tuple((s.name, f) for s, f in pairs),
+            collided=collided,
+            success=success,
+        )
+        for observer in self._observers:
+            observer(record)
+        self.sim.schedule(
+            duration, self._finish_transmission, pairs, collided, success,
+            name="tx_done",
+        )
+
+    def _finish_transmission(
+        self,
+        pairs: Sequence[Tuple["Station", FrameJob]],
+        collided: bool,
+        success: bool,
+    ) -> None:
+        for station, frame in pairs:
+            station.finish_transmission(frame, success=(success and not collided))
+        self.notify_ready()
+
+    # ---------------------------------------------------------------- metrics
+
+    def occupancy(self, since: float = 0.0) -> float:
+        """Fraction of wall-clock time the medium has been busy since t=0.
+
+        This is the *physical* busy fraction; the paper's occupancy metric
+        (Σ size/rate over captured frames) is computed by
+        :class:`repro.core.occupancy.OccupancyAnalyzer` from captures and can
+        exceed this because it excludes PHY preambles it cannot observe.
+        """
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.total_busy_time / elapsed)

@@ -1,0 +1,94 @@
+"""Minstrel-style rate adaptation.
+
+The paper's router runs "the default Wi-Fi rate adaptation algorithm" for
+client traffic in the TCP and PLT experiments; on Linux/ath9k that is
+Minstrel. This is a compact Minstrel: per-rate EWMA success probability,
+expected-throughput rate selection, and a look-around probe fraction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.mac80211.airtime import frame_airtime_s
+from repro.mac80211.rates import ALL_80211G_RATES_MBPS, ERP_OFDM_RATES_MBPS
+
+
+class MinstrelLite:
+    """EWMA throughput-maximising rate controller.
+
+    Parameters
+    ----------
+    rates:
+        Candidate rate set (defaults to the ERP-OFDM rates).
+    ewma_weight:
+        Weight of the historical estimate when new samples fold in.
+    probe_fraction:
+        Fraction of decisions spent sampling a random non-best rate,
+        mirroring Minstrel's ~10 % look-around.
+    rng:
+        Randomness source for probing.
+    reference_bytes:
+        Frame size used when ranking rates by expected throughput.
+    """
+
+    def __init__(
+        self,
+        rates: Sequence[float] = ERP_OFDM_RATES_MBPS,
+        ewma_weight: float = 0.75,
+        probe_fraction: float = 0.1,
+        rng: Optional[random.Random] = None,
+        reference_bytes: int = 1536,
+    ) -> None:
+        if not rates:
+            raise ConfigurationError("rate set must not be empty")
+        if not (0.0 <= probe_fraction < 1.0):
+            raise ConfigurationError(
+                f"probe fraction must be in [0, 1), got {probe_fraction}"
+            )
+        if not (0.0 <= ewma_weight < 1.0):
+            raise ConfigurationError(
+                f"EWMA weight must be in [0, 1), got {ewma_weight}"
+            )
+        for rate in rates:
+            if rate not in ALL_80211G_RATES_MBPS:
+                raise ConfigurationError(f"{rate} Mb/s is not an 802.11g rate")
+        self.rates = tuple(sorted(rates))
+        self.ewma_weight = ewma_weight
+        self.probe_fraction = probe_fraction
+        self.rng = rng or random.Random(0)
+        self.reference_bytes = reference_bytes
+        # Optimistic initialisation so every rate gets tried early.
+        self.success_prob: Dict[float, float] = {r: 1.0 for r in self.rates}
+        self.attempts: Dict[float, int] = {r: 0 for r in self.rates}
+
+    def expected_throughput(self, rate: float) -> float:
+        """Success-probability-weighted goodput proxy for ``rate``."""
+        airtime = frame_airtime_s(self.reference_bytes, rate)
+        return self.success_prob[rate] * self.reference_bytes * 8 / airtime
+
+    @property
+    def best_rate(self) -> float:
+        """The rate with the highest expected throughput."""
+        return max(self.rates, key=self.expected_throughput)
+
+    def select(self) -> float:
+        """Pick the rate for the next frame (mostly best, sometimes probe)."""
+        if self.rng.random() < self.probe_fraction and len(self.rates) > 1:
+            best = self.best_rate
+            others = [r for r in self.rates if r != best]
+            return self.rng.choice(others)
+        return self.best_rate
+
+    def report(self, rate: float, success: bool) -> None:
+        """Fold one transmission outcome into the per-rate statistics."""
+        if rate not in self.success_prob:
+            return  # outcome for a rate outside our managed set
+        sample = 1.0 if success else 0.0
+        self.attempts[rate] += 1
+        self.success_prob[rate] = (
+            self.ewma_weight * self.success_prob[rate]
+            + (1.0 - self.ewma_weight) * sample
+        )

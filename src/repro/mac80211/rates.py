@@ -1,0 +1,145 @@
+"""802.11b/g PHY rates and timing constants.
+
+The PoWiFi router is an 802.11g device (§3.2: "1500 byte packets transmitted
+at the highest 802.11g bit rate of 54 Mbps"); its neighbours and the
+BlindUDP baseline use the 1 Mb/s DSSS rate. The constants here follow IEEE
+802.11-2012 clauses 16 (DSSS), 17 (HR/DSSS) and 19 (ERP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+#: 802.11 / 802.11b DSSS and HR/DSSS rates.
+DSSS_RATES_MBPS: Tuple[float, ...] = (1.0, 2.0, 5.5, 11.0)
+
+#: 802.11g ERP-OFDM rates.
+ERP_OFDM_RATES_MBPS: Tuple[float, ...] = (6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0)
+
+#: All rates an 802.11g station may choose, ascending.
+ALL_80211G_RATES_MBPS: Tuple[float, ...] = tuple(
+    sorted(DSSS_RATES_MBPS + ERP_OFDM_RATES_MBPS)
+)
+
+#: Single-stream 802.11n (HT, 20 MHz) rates: MCS0-7 long GI, plus MCS7
+#: short GI. Used by the §4.1(d) fairness-on-11n validation.
+HT_RATES_MBPS: Tuple[float, ...] = (6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0, 72.2)
+
+#: Every rate the MAC accepts.
+ALL_RATES_MBPS: Tuple[float, ...] = tuple(
+    sorted(ALL_80211G_RATES_MBPS + HT_RATES_MBPS)
+)
+
+#: The highest 802.11g rate; PoWiFi power packets always use this (§3.2).
+HIGHEST_80211G_RATE_MBPS = 54.0
+
+#: The lowest rate; BlindUDP uses this to maximise raw occupancy (§4.1).
+LOWEST_80211_RATE_MBPS = 1.0
+
+
+@dataclass(frozen=True)
+class PhyParameters:
+    """MAC/PHY timing constants for a band/standard combination.
+
+    All durations are in seconds.
+    """
+
+    slot_time: float
+    sifs: float
+    cw_min: int
+    cw_max: int
+    #: OFDM preamble + PLCP header duration (clause 19 ERP-OFDM).
+    ofdm_preamble: float
+    #: OFDM symbol duration.
+    ofdm_symbol: float
+    #: Signal-extension period ERP requires after OFDM frames in 2.4 GHz.
+    ofdm_signal_extension: float
+    #: Long DSSS PLCP preamble + header duration.
+    dsss_long_preamble: float
+    #: Short DSSS PLCP preamble + header duration (for rates > 1 Mb/s).
+    dsss_short_preamble: float
+    #: Retry limit for unicast frames.
+    retry_limit: int = 7
+
+    @property
+    def difs(self) -> float:
+        """DIFS = SIFS + 2 slots."""
+        return self.sifs + 2.0 * self.slot_time
+
+    def cw_for_attempt(self, attempt: int) -> int:
+        """Contention-window size after ``attempt`` failed transmissions.
+
+        Binary exponential backoff: ``min((cw_min+1)*2^attempt - 1, cw_max)``.
+
+        >>> PHY_80211G.cw_for_attempt(0)
+        15
+        >>> PHY_80211G.cw_for_attempt(2)
+        63
+        """
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        cw = (self.cw_min + 1) * (2 ** attempt) - 1
+        return min(cw, self.cw_max)
+
+
+#: 802.11g with the short slot time the ERP standard allows in a
+#: g-only BSS (the configuration the paper's Atheros AR9580 routers ran).
+PHY_80211G = PhyParameters(
+    slot_time=9e-6,
+    sifs=10e-6,
+    cw_min=15,
+    cw_max=1023,
+    ofdm_preamble=20e-6,
+    ofdm_symbol=4e-6,
+    ofdm_signal_extension=6e-6,
+    dsss_long_preamble=192e-6,
+    dsss_short_preamble=96e-6,
+)
+
+
+def is_ofdm_rate(rate_mbps: float) -> bool:
+    """True when ``rate_mbps`` is an ERP-OFDM rate."""
+    return rate_mbps in ERP_OFDM_RATES_MBPS
+
+
+def is_dsss_rate(rate_mbps: float) -> bool:
+    """True when ``rate_mbps`` is a DSSS / HR-DSSS rate."""
+    return rate_mbps in DSSS_RATES_MBPS
+
+
+def is_ht_rate(rate_mbps: float) -> bool:
+    """True when ``rate_mbps`` is a single-stream HT (802.11n) rate."""
+    return rate_mbps in HT_RATES_MBPS
+
+
+def validate_rate(rate_mbps: float) -> float:
+    """Return ``rate_mbps`` if it is a legal 802.11g or 802.11n rate."""
+    if rate_mbps not in ALL_RATES_MBPS:
+        raise ConfigurationError(
+            f"{rate_mbps} Mb/s is not a supported 802.11g/n rate; choose "
+            f"from {ALL_RATES_MBPS}"
+        )
+    return rate_mbps
+
+
+def basic_rate_for(rate_mbps: float) -> float:
+    """Control-response (ACK) rate for a data frame sent at ``rate_mbps``.
+
+    Per the standard, the ACK goes out at the highest basic rate not above
+    the data rate; with the usual basic-rate set {1, 2, 5.5, 11, 6, 12, 24}.
+    """
+    validate_rate(rate_mbps)
+    if is_ht_rate(rate_mbps):
+        return 24.0  # HT control responses ride legacy OFDM basic rates
+    if is_ofdm_rate(rate_mbps):
+        for candidate in (24.0, 12.0, 6.0):
+            if candidate <= rate_mbps:
+                return candidate
+        return 6.0
+    for candidate in (11.0, 5.5, 2.0, 1.0):
+        if candidate <= rate_mbps:
+            return candidate
+    return 1.0

@@ -1,0 +1,159 @@
+"""Stations: anything with a transmit queue attached to a medium.
+
+A station couples a :class:`repro.netstack.txqueue.DeviceQueue` to the DCF.
+The PoWiFi router instantiates one station per Atheros chipset (channels 1,
+6, 11); clients, neighbouring APs and background traffic sources are further
+stations on the same media.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import MediumError
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.netstack.txqueue import DeviceQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mac80211.medium import Medium
+
+
+class Station:
+    """A DCF transmitter with a bounded device queue.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    name:
+        Unique label, used in traces, captures and statistics.
+    streams:
+        Random-stream factory; the station draws backoff slots from the
+        stream ``"backoff:<name>"`` and loss decisions from
+        ``"loss:<name>"``.
+    queue_capacity:
+        Device queue bound in frames (Linux default txqueuelen-style).
+    unicast_loss_probability:
+        Channel-error probability applied per unicast attempt, exercising
+        the retransmission path.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        streams: RandomStreams,
+        queue_capacity: int = 1000,
+        unicast_loss_probability: float = 0.0,
+        queue_classifier=None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        if queue_classifier is None:
+            self.queue = DeviceQueue(capacity=queue_capacity)
+        else:
+            self.queue = DeviceQueue(
+                capacity=queue_capacity, classifier=queue_classifier
+            )
+        self.backoff_rng: random.Random = streams.stream(f"backoff:{name}")
+        self.loss_rng: random.Random = streams.stream(f"loss:{name}")
+        self.unicast_loss_probability = unicast_loss_probability
+        self.backoff_remaining: Optional[int] = None
+        self._medium: Optional["Medium"] = None
+        self._in_flight: Optional[FrameJob] = None
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+
+    # ----------------------------------------------------------------- queue
+
+    def enqueue(self, frame: FrameJob) -> bool:
+        """Queue a frame for transmission; returns False if the queue is full.
+
+        A full queue *drops* the frame (tail drop), completing it with
+        ``success=False`` — this is the loss signal the TCP model reacts to.
+        """
+        frame.enqueued_at = self.sim.now
+        if not self.queue.push(frame):
+            self.frames_dropped += 1
+            frame.complete(False, self.sim.now)
+            return False
+        if self._medium is not None:
+            self._medium.notify_ready()
+        return True
+
+    def has_pending(self) -> bool:
+        """True when a frame is queued or mid-transmission setup."""
+        return len(self.queue) > 0
+
+    # ------------------------------------------------------------------- DCF
+
+    def ensure_backoff(self) -> None:
+        """Draw a fresh backoff counter if none is carried over."""
+        if self.backoff_remaining is None:
+            attempts = self.queue.peek().attempts if len(self.queue) else 0
+            cw = self._phy().cw_for_attempt(attempts)
+            self.backoff_remaining = self.backoff_rng.randint(0, cw)
+
+    def begin_transmission(self) -> FrameJob:
+        """Called by the medium when this station wins the round.
+
+        The frame is popped from the queue for the duration of the attempt;
+        a failed unicast attempt re-inserts it at the head of its class.
+        """
+        if self._in_flight is not None:
+            raise MediumError(f"station {self.name!r} already transmitting")
+        frame = self.queue.pop()
+        if frame is None:
+            raise MediumError(f"station {self.name!r} has nothing to send")
+        self._in_flight = frame
+        frame.attempts += 1
+        return frame
+
+    def finish_transmission(self, frame: FrameJob, success: bool) -> None:
+        """Called by the medium when the busy period for ``frame`` ends."""
+        if self._in_flight is not frame:
+            raise MediumError(f"station {self.name!r}: unknown frame completion")
+        self._in_flight = None
+        phy = self._phy()
+        if frame.broadcast or success:
+            # Broadcast is fire-and-forget: it leaves the MAC regardless of
+            # whether it collided; unicast leaves on acknowledgement.
+            self.backoff_remaining = None
+            self.frames_sent += 1
+            self.bytes_sent += frame.mac_bytes
+            frame.complete(success, self.sim.now)
+            return
+        # Failed unicast: retry with doubled contention window, or drop.
+        if frame.attempts > phy.retry_limit:
+            self.backoff_remaining = None
+            self.frames_dropped += 1
+            frame.complete(False, self.sim.now)
+            return
+        self.queue.push_front(frame)
+        cw = phy.cw_for_attempt(frame.attempts)
+        self.backoff_remaining = self.backoff_rng.randint(0, cw)
+
+    def _phy(self):
+        if self._medium is None:
+            raise MediumError(f"station {self.name!r} is not attached to a medium")
+        return self._medium.phy
+
+    # --------------------------------------------------------------- metrics
+
+    @property
+    def queue_depth(self) -> int:
+        """Current device-queue depth — the value IP_Power checks (§3.2).
+
+        Counts the frame currently on the air too: the kernel's queue
+        accounting releases a frame only on its tx-completion interrupt,
+        which is what makes a threshold of one drain the pipeline between
+        completion and the injector's next tick (§3.2(i), Fig 5).
+        """
+        return len(self.queue) + (1 if self._in_flight is not None else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Station {self.name!r} qdepth={len(self.queue)}>"

@@ -1,0 +1,90 @@
+"""Per-frame latency accounting.
+
+§3.2's design goal is to "minimize the effect on the client delay and
+throughput"; Figs 6a-6c measure the throughput half. This module measures
+the delay half directly: it wraps a flow's frames and records the
+enqueue-to-completion latency of each, giving per-scheme client-latency
+distributions (used by the latency ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob
+
+
+@dataclass
+class LatencySample:
+    """One frame's MAC-level sojourn."""
+
+    enqueued_at: float
+    completed_at: float
+    success: bool
+
+    @property
+    def latency_s(self) -> float:
+        """Queueing + contention + transmission time."""
+        return self.completed_at - self.enqueued_at
+
+
+class LatencyTracker:
+    """Collects per-frame latency for frames it instruments.
+
+    Usage: call :meth:`instrument` on each frame before enqueueing it; the
+    tracker chains any existing completion callback.
+    """
+
+    def __init__(self) -> None:
+        self.samples: List[LatencySample] = []
+
+    def instrument(self, frame: FrameJob) -> FrameJob:
+        """Attach latency recording to ``frame`` (returns the same frame)."""
+        previous: Optional[Callable[[FrameJob, bool, float], None]] = frame.on_complete
+
+        def on_complete(completed: FrameJob, success: bool, time: float) -> None:
+            self.samples.append(
+                LatencySample(
+                    enqueued_at=completed.enqueued_at,
+                    completed_at=time,
+                    success=success,
+                )
+            )
+            if previous is not None:
+                previous(completed, success, time)
+
+        frame.on_complete = on_complete
+        return frame
+
+    # --------------------------------------------------------------- metrics
+
+    @property
+    def count(self) -> int:
+        """Number of completed, instrumented frames."""
+        return len(self.samples)
+
+    def latencies_s(self, successful_only: bool = True) -> List[float]:
+        """All recorded latencies in seconds."""
+        return [
+            s.latency_s
+            for s in self.samples
+            if s.success or not successful_only
+        ]
+
+    def mean_latency_s(self) -> float:
+        """Mean frame latency."""
+        values = self.latencies_s()
+        if not values:
+            raise ConfigurationError("no latency samples recorded")
+        return sum(values) / len(values)
+
+    def percentile_s(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100]."""
+        from repro.analysis import percentile
+
+        values = self.latencies_s()
+        if not values:
+            raise ConfigurationError("no latency samples recorded")
+        return percentile(values, q)

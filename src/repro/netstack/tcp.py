@@ -1,0 +1,297 @@
+"""An event-driven TCP Reno model running over the simulated MAC.
+
+Used for the iperf TCP experiments (§4.1(b)) and as the transport under the
+page-load harness (§4.1(c)). The model captures the mechanisms that matter
+for those results: window-limited sending, slow start and congestion
+avoidance, multiplicative decrease on loss, delayed ACKs that themselves
+contend for the medium, and queue tail-drop as the loss signal.
+
+Deliberately out of scope: byte-exact sequence numbers and SACK — the paper's
+results depend on airtime sharing, not on TCP minutiae.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob, FrameKind
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.mac80211.station import Station
+from repro.sim.engine import Event, Simulator
+
+#: Standard Ethernet-ish MSS carried in each data segment.
+DEFAULT_MSS_BYTES = 1460
+
+#: On-air overhead for a data segment (MAC + LLC + IP + TCP + FCS).
+TCP_DATA_OVERHEAD_BYTES = 24 + 8 + 20 + 20 + 4
+
+#: On-air size of a (delayed) TCP ACK frame.
+TCP_ACK_ON_AIR_BYTES = 24 + 8 + 20 + 20 + 4
+
+
+@dataclass
+class TcpParameters:
+    """Tunables for the Reno model."""
+
+    mss_bytes: int = DEFAULT_MSS_BYTES
+    initial_cwnd_segments: float = 2.0
+    initial_ssthresh_segments: float = 64.0
+    max_cwnd_segments: float = 256.0
+    #: ACK every this many segments (delayed ACK).
+    ack_every: int = 2
+    #: Retransmission-timeout floor; fires when the pipe fully stalls.
+    rto_seconds: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.mss_bytes <= 0:
+            raise ConfigurationError("MSS must be positive")
+        if self.ack_every < 1:
+            raise ConfigurationError("ack_every must be >= 1")
+
+
+@dataclass
+class AckSample:
+    """Cumulative-acked-bytes observation, for throughput time series."""
+
+    time: float
+    acked_bytes: int
+
+
+class TcpFlow:
+    """One TCP Reno download from ``sender`` (AP) to ``receiver`` (client).
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    sender:
+        Station whose queue carries data segments (the AP side).
+    receiver:
+        Station whose queue carries the ACKs back over the air.
+    rate_provider:
+        Callable returning the Wi-Fi bit rate for the next data frame —
+        hook for rate adaptation (the paper runs the default rate-control
+        algorithm in the TCP/PLT experiments). It is invoked per segment and
+        told about successes/failures via ``report(success)``.
+    total_bytes:
+        Finite transfer size, or None for an unbounded (iperf-style) flow.
+    on_finished:
+        Called once a finite transfer completes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: "Station",
+        receiver: "Station",
+        rate_provider: Optional[Callable[[], float]] = None,
+        rate_reporter: Optional[Callable[[float, bool], None]] = None,
+        params: Optional[TcpParameters] = None,
+        total_bytes: Optional[int] = None,
+        flow_label: str = "tcp",
+        on_finished: Optional[Callable[["TcpFlow", float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.sender = sender
+        self.receiver = receiver
+        self.params = params or TcpParameters()
+        self.rate_provider = rate_provider or (lambda: 54.0)
+        self.rate_reporter = rate_reporter or (lambda rate, ok: None)
+        self.total_bytes = total_bytes
+        self.flow_label = flow_label
+        self.on_finished = on_finished
+
+        self.cwnd = self.params.initial_cwnd_segments
+        self.ssthresh = self.params.initial_ssthresh_segments
+        self.in_flight = 0
+        self.sent_segments = 0
+        self.acked_segments = 0
+        self.acked_bytes = 0
+        self.lost_segments = 0
+        self.finished = False
+        self.finish_time: Optional[float] = None
+        self.ack_samples: List[AckSample] = []
+        self._pending_ack_segments = 0
+        self._running = False
+        self._rto_event: Optional[Event] = None
+        self._filling = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Open the flow and start pushing segments."""
+        if self._running:
+            return
+        self._running = True
+        self._fill_window()
+        self._arm_rto()
+
+    def stop(self) -> None:
+        """Abort the flow (used when an experiment window closes)."""
+        self._running = False
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    # -------------------------------------------------------------- sending
+
+    @property
+    def _segments_total(self) -> Optional[int]:
+        if self.total_bytes is None:
+            return None
+        mss = self.params.mss_bytes
+        return (self.total_bytes + mss - 1) // mss
+
+    def _more_to_send(self) -> bool:
+        total = self._segments_total
+        if total is None:
+            return True
+        return self.sent_segments < total
+
+    def _fill_window(self) -> None:
+        if not self._running or self.finished or self._filling:
+            return
+        self._filling = True
+        try:
+            while self.in_flight < int(self.cwnd) and self._more_to_send():
+                rate = self.rate_provider()
+                frame = FrameJob(
+                    mac_bytes=self.params.mss_bytes + TCP_DATA_OVERHEAD_BYTES,
+                    rate_mbps=rate,
+                    kind=FrameKind.DATA,
+                    broadcast=False,
+                    flow=self.flow_label,
+                    on_complete=self._on_data_complete,
+                    meta={"rate": rate},
+                )
+                self.sent_segments += 1
+                self.in_flight += 1
+                if not self.sender.enqueue(frame):
+                    # Tail drop: the completion callback already recorded the
+                    # loss; in-queue completions or the RTO resume sending.
+                    break
+        finally:
+            self._filling = False
+
+    def _on_data_complete(self, frame: FrameJob, success: bool, time: float) -> None:
+        self.rate_reporter(frame.meta.get("rate", 54.0), success)
+        if success:
+            self._pending_ack_segments += 1
+            if self._pending_ack_segments >= self.params.ack_every:
+                self._send_ack(self._pending_ack_segments)
+                self._pending_ack_segments = 0
+            return
+        # Loss: fast-retransmit-style reaction (multiplicative decrease).
+        self.in_flight = max(0, self.in_flight - 1)
+        self.lost_segments += 1
+        self.sent_segments -= 1  # the segment must be sent again
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = self.ssthresh
+        self._fill_window()
+
+    def _send_ack(self, n_segments: int) -> None:
+        ack = FrameJob(
+            mac_bytes=TCP_ACK_ON_AIR_BYTES,
+            rate_mbps=24.0,  # ACKs ride a robust mid-tier rate
+            kind=FrameKind.TCP_ACK,
+            broadcast=False,
+            flow=f"{self.flow_label}-ack",
+            on_complete=lambda f, ok, t, n=n_segments: self._on_ack_complete(n, ok, t),
+        )
+        self.receiver.enqueue(ack)
+
+    def _on_ack_complete(self, n_segments: int, success: bool, time: float) -> None:
+        if not success:
+            # The cumulative ACK is lost; the next one covers these segments.
+            self._pending_ack_segments += n_segments
+            return
+        self._handle_ack(n_segments, time)
+
+    def _handle_ack(self, n_segments: int, time: float) -> None:
+        if self.finished:
+            return
+        self.acked_segments += n_segments
+        self.acked_bytes += n_segments * self.params.mss_bytes
+        self.in_flight = max(0, self.in_flight - n_segments)
+        for _ in range(n_segments):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+        self.cwnd = min(self.cwnd, self.params.max_cwnd_segments)
+        self.ack_samples.append(AckSample(time, self.acked_bytes))
+        total = self._segments_total
+        if total is not None and self.acked_segments >= total:
+            self.finished = True
+            self.finish_time = time
+            self._running = False
+            if self._rto_event is not None:
+                self._rto_event.cancel()
+                self._rto_event = None
+            if self.on_finished is not None:
+                self.on_finished(self, time)
+            return
+        self._fill_window()
+        self._arm_rto()
+
+    # ----------------------------------------------------------------- RTO
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        if not self._running:
+            return
+        self._rto_event = self.sim.schedule(
+            self.params.rto_seconds, self._on_rto, name=f"{self.flow_label}_rto"
+        )
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if not self._running or self.finished:
+            return
+        if self.in_flight == 0 and self._pending_ack_segments == 0:
+            # Full stall: classic timeout response, restart from slow start.
+            self.ssthresh = max(2.0, self.cwnd / 2.0)
+            self.cwnd = self.params.initial_cwnd_segments
+            self._fill_window()
+        elif self._pending_ack_segments > 0:
+            # Delayed-ACK timer: flush the partial ACK.
+            self._send_ack(self._pending_ack_segments)
+            self._pending_ack_segments = 0
+        self._arm_rto()
+
+    # --------------------------------------------------------------- metrics
+
+    def throughput_mbps(self, start: float, end: float) -> float:
+        """Acked goodput over ``[start, end)`` in Mb/s."""
+        if end <= start:
+            raise ConfigurationError("window must have positive length")
+        acked = 0
+        for sample in self.ack_samples:
+            if sample.time < start:
+                continue
+            if sample.time >= end:
+                break
+            acked = max(acked, sample.acked_bytes)
+        base = 0
+        for sample in self.ack_samples:
+            if sample.time < start:
+                base = sample.acked_bytes
+            else:
+                break
+        return max(0, acked - base) * 8 / (end - start) / 1e6
+
+    def interval_throughputs_mbps(
+        self, start: float, end: float, window: float = 0.5
+    ) -> List[float]:
+        """Goodput per ``window``-second interval (paper: 500 ms bins)."""
+        out = []
+        t = start
+        while t + window <= end + 1e-12:
+            out.append(self.throughput_mbps(t, t + window))
+            t += window
+        return out

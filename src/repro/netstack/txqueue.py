@@ -1,0 +1,150 @@
+"""The per-interface device transmit queue.
+
+This queue is the hinge of the whole PoWiFi design: ``IP_Power`` drops a
+power datagram whenever the depth of the wireless interface's queue is at or
+above a threshold (five frames, after the tuning in §3.2(i)), which is what
+keeps client traffic unharmed while the channel stays full.
+
+The queue supports two service disciplines:
+
+* plain FIFO — a classic driver ring;
+* class-based round robin — mac80211's software queues serve broadcast and
+  per-station unicast queues in turn, which is why the paper's *NoQueue*
+  scheme "roughly halves" client throughput rather than starving it (§4.1(a)).
+  The classifier maps each frame to a service class; classes with backlog are
+  served round-robin.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob
+
+Classifier = Callable[[FrameJob], str]
+
+
+def single_class(_frame: FrameJob) -> str:
+    """Default classifier: everything shares one FIFO."""
+    return "all"
+
+
+def power_vs_client(frame: FrameJob) -> str:
+    """Classifier mirroring mac80211: broadcast power traffic is a distinct
+    software queue from unicast client traffic."""
+    return "power" if frame.is_power else "client"
+
+
+class DeviceQueue:
+    """A bounded frame queue with optional class-based round-robin service.
+
+    Parameters
+    ----------
+    capacity:
+        Bound *per class*; ``push`` beyond it tail-drops. Per-class bounding
+        mirrors mac80211's per-software-queue limits: a backlogged broadcast
+        (power) queue cannot starve the unicast client queue of buffer
+        space, only of airtime.
+    classifier:
+        Maps frames to class names. With the default single class the queue
+        degenerates to a bounded FIFO.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1000,
+        classifier: Classifier = single_class,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"queue capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.classifier = classifier
+        self._classes: "OrderedDict[str, Deque[FrameJob]]" = OrderedDict()
+        self._size = 0
+        self._next_index = 0
+        self.total_enqueued = 0
+        self.total_tail_dropped = 0
+        self.high_watermark = 0
+
+    # ---------------------------------------------------------------- mutation
+
+    def push(self, frame: FrameJob) -> bool:
+        """Append ``frame`` to its class; returns False (tail drop) when its
+        class is full."""
+        name = self.classifier(frame)
+        queue = self._classes.setdefault(name, deque())
+        if len(queue) >= self.capacity:
+            self.total_tail_dropped += 1
+            return False
+        queue.append(frame)
+        self._size += 1
+        self.total_enqueued += 1
+        if self._size > self.high_watermark:
+            self.high_watermark = self._size
+        return True
+
+    def push_front(self, frame: FrameJob) -> None:
+        """Return a frame to the head of its class (MAC retry path).
+
+        Always succeeds: a frame being retried was already admitted, so
+        re-insertion must not be droppable.
+        """
+        name = self.classifier(frame)
+        self._classes.setdefault(name, deque()).appendleft(frame)
+        self._size += 1
+
+    def _serving_class(self) -> Optional[str]:
+        """The class the next ``pop`` serves (round robin over backlogged)."""
+        backlogged = [name for name, q in self._classes.items() if q]
+        if not backlogged:
+            return None
+        return backlogged[self._next_index % len(backlogged)]
+
+    def peek(self) -> Optional[FrameJob]:
+        """The frame the next ``pop`` would return, or None when empty."""
+        name = self._serving_class()
+        if name is None:
+            return None
+        return self._classes[name][0]
+
+    def pop(self) -> Optional[FrameJob]:
+        """Remove and return the next frame per the service discipline."""
+        name = self._serving_class()
+        if name is None:
+            return None
+        frame = self._classes[name].popleft()
+        self._size -= 1
+        self._next_index += 1
+        return frame
+
+    def clear(self) -> None:
+        """Drop everything (interface reset)."""
+        self._classes.clear()
+        self._size = 0
+        self._next_index = 0
+
+    # ----------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[FrameJob]:
+        for q in self._classes.values():
+            yield from q
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued frames (the IP_Power signal)."""
+        return self._size
+
+    def depth_of(self, class_name: str) -> int:
+        """Backlog of one service class."""
+        q = self._classes.get(class_name)
+        return len(q) if q else 0
+
+    @property
+    def class_names(self) -> List[str]:
+        """Names of classes that have ever held a frame."""
+        return list(self._classes.keys())

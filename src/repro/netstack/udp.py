@@ -1,0 +1,144 @@
+"""Constant-bit-rate UDP flows (the iperf UDP workload of §4.1(a)).
+
+A :class:`UdpFlow` generates datagrams at a target rate into a transmitting
+station's device queue and counts what the receiver actually gets — exactly
+what ``iperf -u`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob, FrameKind
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.mac80211.station import Station
+from repro.sim.engine import Event, Simulator
+
+#: iperf's default UDP payload (bytes).
+DEFAULT_UDP_PAYLOAD_BYTES = 1470
+
+#: MAC+LLC+IP+UDP overhead added to the application payload on the air.
+UDP_ON_AIR_OVERHEAD_BYTES = 24 + 8 + 20 + 8 + 4  # dot11 + LLC + IP + UDP + FCS
+
+
+@dataclass
+class DeliveryRecord:
+    """One datagram that reached the receiver."""
+
+    time: float
+    payload_bytes: int
+
+
+class UdpFlow:
+    """A CBR UDP flow from a station to a (modelled) receiver.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    sender:
+        Station whose device queue carries the datagrams (the AP for
+        download traffic).
+    target_rate_mbps:
+        Application-layer offered load.
+    rate_mbps:
+        Wi-Fi bit rate for the data frames (the §4.1(a) client pins 54 Mb/s).
+    payload_bytes:
+        UDP payload per datagram.
+    flow_label:
+        Statistic-grouping label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: "Station",
+        target_rate_mbps: float,
+        rate_mbps: float = 54.0,
+        payload_bytes: int = DEFAULT_UDP_PAYLOAD_BYTES,
+        flow_label: str = "udp",
+    ) -> None:
+        if target_rate_mbps <= 0:
+            raise ConfigurationError(
+                f"target rate must be > 0 Mb/s, got {target_rate_mbps}"
+            )
+        if payload_bytes <= 0:
+            raise ConfigurationError(f"payload must be > 0 bytes, got {payload_bytes}")
+        self.sim = sim
+        self.sender = sender
+        self.target_rate_mbps = target_rate_mbps
+        self.rate_mbps = rate_mbps
+        self.payload_bytes = payload_bytes
+        self.flow_label = flow_label
+        self.deliveries: List[DeliveryRecord] = []
+        self.offered = 0
+        self.delivered = 0
+        self.lost = 0
+        self._timer: Optional[Event] = None
+        self._running = False
+        #: Seconds between datagrams at the target rate.
+        self.interval = (8 * payload_bytes) / (target_rate_mbps * 1e6)
+
+    def start(self) -> None:
+        """Begin generating datagrams."""
+        if self._running:
+            return
+        self._running = True
+        self._timer = self.sim.schedule(0.0, self._emit, name=f"{self.flow_label}_emit")
+
+    def stop(self) -> None:
+        """Stop the generator (in-queue datagrams still drain)."""
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _emit(self) -> None:
+        if not self._running:
+            return
+        frame = FrameJob(
+            mac_bytes=self.payload_bytes + UDP_ON_AIR_OVERHEAD_BYTES,
+            rate_mbps=self.rate_mbps,
+            kind=FrameKind.DATA,
+            broadcast=False,
+            flow=self.flow_label,
+            on_complete=self._on_complete,
+        )
+        self.offered += 1
+        self.sender.enqueue(frame)
+        self._timer = self.sim.schedule(
+            self.interval, self._emit, name=f"{self.flow_label}_emit"
+        )
+
+    def _on_complete(self, frame: FrameJob, success: bool, time: float) -> None:
+        if success:
+            self.delivered += 1
+            self.deliveries.append(DeliveryRecord(time, self.payload_bytes))
+        else:
+            self.lost += 1
+
+    # --------------------------------------------------------------- metrics
+
+    def delivered_mbps(self, start: float, end: float) -> float:
+        """Goodput over the window ``[start, end)`` in Mb/s."""
+        if end <= start:
+            raise ConfigurationError("window must have positive length")
+        payload_bits = sum(
+            8 * d.payload_bytes for d in self.deliveries if start <= d.time < end
+        )
+        return payload_bits / (end - start) / 1e6
+
+    def interval_throughputs_mbps(
+        self, start: float, end: float, window: float = 0.5
+    ) -> List[float]:
+        """Goodput per ``window``-second interval (the paper uses 500 ms)."""
+        out = []
+        t = start
+        while t + window <= end + 1e-12:
+            out.append(self.delivered_mbps(t, t + window))
+            t += window
+        return out

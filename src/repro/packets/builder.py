@@ -1,0 +1,120 @@
+"""Builds the on-air bytes of PoWiFi power packets.
+
+The injector (§3.2) sends 1500-byte UDP broadcast datagrams marked with the
+``IP_Power`` option. This module assembles the full stack — UDP inside IPv4
+inside LLC/SNAP inside an 802.11 broadcast data frame — and exposes the exact
+MAC-layer frame length, which is what the airtime and occupancy math consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.packets.dot11 import BROADCAST_MAC, Dot11Data, MacAddress
+from repro.packets.ipv4 import IpPowerOption, IPv4Packet
+from repro.packets.llc import LlcSnapHeader
+from repro.packets.udp import UdpDatagram
+
+#: UDP port the reference injector targets (arbitrary; broadcast, unacked).
+POWER_UDP_PORT = 47_000
+
+#: The paper's IP datagram size for power packets.
+DEFAULT_IP_DATAGRAM_BYTES = 1500
+
+
+@dataclass
+class PowerPacketBuilder:
+    """Assembles power packets for one wireless interface.
+
+    Parameters
+    ----------
+    interface_id:
+        Identifier placed into the IP_Power option (one per channel).
+    router_mac:
+        The transmitting interface's MAC address.
+    router_ip:
+        Source IP address for the datagrams.
+    ip_datagram_bytes:
+        Total IPv4 datagram size; 1500 bytes in the paper.
+    """
+
+    interface_id: int
+    router_mac: MacAddress = field(
+        default_factory=lambda: MacAddress.from_string("02:00:00:00:00:01")
+    )
+    router_ip: str = "192.168.1.1"
+    ip_datagram_bytes: int = DEFAULT_IP_DATAGRAM_BYTES
+    _sequence: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        probe = self._overhead_bytes()
+        if self.ip_datagram_bytes < probe:
+            raise ConfigurationError(
+                f"ip_datagram_bytes={self.ip_datagram_bytes} smaller than "
+                f"header overhead ({probe} bytes)"
+            )
+
+    def _overhead_bytes(self) -> int:
+        option_len = 4  # IP_Power padded to 4 bytes
+        return IPv4Packet.BASE_HEADER_LEN + option_len + UdpDatagram.HEADER_LEN
+
+    def build_ip_datagram(self) -> IPv4Packet:
+        """Build the next power datagram (filler payload, IP_Power marked)."""
+        payload_len = self.ip_datagram_bytes - self._overhead_bytes()
+        udp = UdpDatagram(
+            src_port=POWER_UDP_PORT,
+            dst_port=POWER_UDP_PORT,
+            payload=bytes(payload_len),
+        )
+        packet = IPv4Packet(
+            src=self.router_ip,
+            dst="255.255.255.255",
+            payload=udp.encode(self.router_ip, "255.255.255.255"),
+            identification=self._sequence & 0xFFFF,
+            power_option=IpPowerOption(interface_id=self.interface_id),
+        )
+        self._sequence += 1
+        return packet
+
+    def build_frame(self, ip_packet: Optional[IPv4Packet] = None) -> Dot11Data:
+        """Wrap an IP datagram into a broadcast 802.11 data frame."""
+        if ip_packet is None:
+            ip_packet = self.build_ip_datagram()
+        body = LlcSnapHeader().encode() + ip_packet.encode()
+        return Dot11Data.broadcast(
+            transmitter=self.router_mac,
+            bssid=self.router_mac,
+            payload=body,
+            sequence=(self._sequence - 1) & 0xFFF,
+        )
+
+    @property
+    def mac_frame_bytes(self) -> int:
+        """On-air MAC frame size (header + LLC + IP datagram + FCS)."""
+        return (
+            24  # 802.11 header
+            + LlcSnapHeader.LENGTH
+            + self.ip_datagram_bytes
+            + 4  # FCS
+        )
+
+
+def build_power_frame(
+    interface_id: int = 0,
+    router_mac: str = "02:00:00:00:00:01",
+    ip_datagram_bytes: int = DEFAULT_IP_DATAGRAM_BYTES,
+) -> bytes:
+    """One-call helper: the full on-air bytes of a single power frame.
+
+    >>> frame = build_power_frame()
+    >>> len(frame)
+    1536
+    """
+    builder = PowerPacketBuilder(
+        interface_id=interface_id,
+        router_mac=MacAddress.from_string(router_mac),
+        ip_datagram_bytes=ip_datagram_bytes,
+    )
+    return builder.build_frame().encode(with_fcs=True)

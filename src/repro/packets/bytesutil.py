@@ -1,0 +1,49 @@
+"""Byte-buffer helpers shared by the packet codecs."""
+
+from __future__ import annotations
+
+from repro.errors import TruncatedFrameError
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 internet checksum (one's-complement sum of 16-bit words).
+
+    Used by the IPv4 and UDP codecs. Odd-length input is padded with a zero
+    byte as the RFC specifies.
+
+    >>> hex(internet_checksum(bytes.fromhex('45000073000040004011b861c0a80001c0a800c7')))
+    '0x0'
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    # Fold any remaining carry.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def require_length(data: bytes, needed: int, what: str) -> None:
+    """Raise :class:`TruncatedFrameError` unless ``data`` holds ``needed`` bytes."""
+    if len(data) < needed:
+        raise TruncatedFrameError(
+            f"{what}: need {needed} bytes, have {len(data)}"
+        )
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    """Render bytes as a classic offset/hex/ASCII dump for debugging.
+
+    >>> print(hexdump(b'PoWiFi'))
+    00000000  50 6f 57 69 46 69                               |PoWiFi|
+    """
+    lines = []
+    for offset in range(0, len(data), width):
+        chunk = data[offset : offset + width]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{offset:08x}  {hexpart:<{width * 3 - 1}} |{asciipart}|")
+    return "\n".join(lines)

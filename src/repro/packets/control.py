@@ -1,0 +1,132 @@
+"""802.11 control frames: ACK, RTS and CTS.
+
+The DCF's unicast exchanges end with a 14-byte ACK (and may be preceded by
+RTS/CTS); these codecs let captures carry the complete frame vocabulary a
+real monitor interface records. PoWiFi's power packets are broadcast and
+unacknowledged, so in a power-only capture control frames are conspicuously
+absent — itself a recognisable signature of the scheme.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError, CodecError
+from repro.packets.bytesutil import require_length
+from repro.packets.dot11 import Dot11FrameControl, FrameType, MacAddress
+
+#: Control subtypes.
+SUBTYPE_RTS = 11
+SUBTYPE_CTS = 12
+SUBTYPE_ACK = 13
+
+
+def _fcs(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """The 14-byte acknowledgement: FC, duration, RA, FCS."""
+
+    receiver: MacAddress
+    duration_us: int = 0
+
+    LENGTH = 14
+
+    def encode(self) -> bytes:
+        """Serialise (always with FCS; a truncated ACK is meaningless)."""
+        fc = Dot11FrameControl(FrameType.CONTROL, SUBTYPE_ACK)
+        body = struct.pack(
+            "<HH6s", fc.encode(), self.duration_us, self.receiver.octets
+        )
+        return body + struct.pack("<I", _fcs(body))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AckFrame":
+        """Parse and verify an ACK."""
+        require_length(data, cls.LENGTH, "ACK frame")
+        body, trailer = data[:10], data[10:14]
+        (expected,) = struct.unpack("<I", trailer)
+        if _fcs(body) != expected:
+            raise ChecksumError("ACK FCS mismatch")
+        fc_value, duration, ra = struct.unpack("<HH6s", body)
+        fc = Dot11FrameControl.decode(fc_value)
+        if fc.frame_type != FrameType.CONTROL or fc.subtype != SUBTYPE_ACK:
+            raise CodecError("not an ACK frame")
+        return cls(receiver=MacAddress(ra), duration_us=duration)
+
+
+@dataclass(frozen=True)
+class RtsFrame:
+    """Request-to-send: FC, duration, RA, TA, FCS (20 bytes)."""
+
+    receiver: MacAddress
+    transmitter: MacAddress
+    duration_us: int = 0
+
+    LENGTH = 20
+
+    def encode(self) -> bytes:
+        """Serialise with FCS."""
+        fc = Dot11FrameControl(FrameType.CONTROL, SUBTYPE_RTS)
+        body = struct.pack(
+            "<HH6s6s",
+            fc.encode(),
+            self.duration_us,
+            self.receiver.octets,
+            self.transmitter.octets,
+        )
+        return body + struct.pack("<I", _fcs(body))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RtsFrame":
+        """Parse and verify an RTS."""
+        require_length(data, cls.LENGTH, "RTS frame")
+        body, trailer = data[:16], data[16:20]
+        (expected,) = struct.unpack("<I", trailer)
+        if _fcs(body) != expected:
+            raise ChecksumError("RTS FCS mismatch")
+        fc_value, duration, ra, ta = struct.unpack("<HH6s6s", body)
+        fc = Dot11FrameControl.decode(fc_value)
+        if fc.frame_type != FrameType.CONTROL or fc.subtype != SUBTYPE_RTS:
+            raise CodecError("not an RTS frame")
+        return cls(
+            receiver=MacAddress(ra),
+            transmitter=MacAddress(ta),
+            duration_us=duration,
+        )
+
+
+@dataclass(frozen=True)
+class CtsFrame:
+    """Clear-to-send: FC, duration, RA, FCS (14 bytes)."""
+
+    receiver: MacAddress
+    duration_us: int = 0
+
+    LENGTH = 14
+
+    def encode(self) -> bytes:
+        """Serialise with FCS."""
+        fc = Dot11FrameControl(FrameType.CONTROL, SUBTYPE_CTS)
+        body = struct.pack(
+            "<HH6s", fc.encode(), self.duration_us, self.receiver.octets
+        )
+        return body + struct.pack("<I", _fcs(body))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CtsFrame":
+        """Parse and verify a CTS."""
+        require_length(data, cls.LENGTH, "CTS frame")
+        body, trailer = data[:10], data[10:14]
+        (expected,) = struct.unpack("<I", trailer)
+        if _fcs(body) != expected:
+            raise ChecksumError("CTS FCS mismatch")
+        fc_value, duration, ra = struct.unpack("<HH6s", body)
+        fc = Dot11FrameControl.decode(fc_value)
+        if fc.frame_type != FrameType.CONTROL or fc.subtype != SUBTYPE_CTS:
+            raise CodecError("not a CTS frame")
+        return cls(receiver=MacAddress(ra), duration_us=duration)

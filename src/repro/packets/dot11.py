@@ -1,0 +1,318 @@
+"""IEEE 802.11 MAC frame codec.
+
+Implements the subset of the 802.11 frame format the PoWiFi system touches:
+data frames carrying the UDP broadcast power packets, and beacon management
+frames (the paper notes harvesters draw power from beacons too, since the
+harvester cannot decode frames at all). Frames are encoded little-endian per
+the standard, with an optional FCS (CRC-32) trailer.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from repro.errors import ChecksumError, CodecError
+from repro.packets.bytesutil import require_length
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit IEEE MAC address."""
+
+    octets: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.octets) != 6:
+            raise CodecError(f"MAC address needs 6 octets, got {len(self.octets)}")
+
+    @classmethod
+    def from_string(cls, text: str) -> "MacAddress":
+        """Parse the conventional colon-separated form.
+
+        >>> MacAddress.from_string('ff:ff:ff:ff:ff:ff').is_broadcast
+        True
+        """
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise CodecError(f"malformed MAC address {text!r}")
+        try:
+            return cls(bytes(int(p, 16) for p in parts))
+        except ValueError as exc:
+            raise CodecError(f"malformed MAC address {text!r}") from exc
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for ff:ff:ff:ff:ff:ff."""
+        return self.octets == b"\xff" * 6
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the group bit (LSB of the first octet) is set."""
+        return bool(self.octets[0] & 0x01)
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self.octets)
+
+
+#: The all-ones broadcast address used by power packets.
+BROADCAST_MAC = MacAddress(b"\xff" * 6)
+
+
+class FrameType(IntEnum):
+    """802.11 frame type field (2 bits)."""
+
+    MANAGEMENT = 0
+    CONTROL = 1
+    DATA = 2
+
+
+#: Management subtype for beacons.
+SUBTYPE_BEACON = 8
+#: Data subtype for plain data frames.
+SUBTYPE_DATA = 0
+#: Control subtype for ACK frames.
+SUBTYPE_ACK = 13
+
+
+@dataclass(frozen=True)
+class Dot11FrameControl:
+    """The 16-bit Frame Control field.
+
+    Only the fields PoWiFi exercises are modelled: protocol version, type,
+    subtype, ToDS/FromDS, and retry.
+    """
+
+    frame_type: FrameType
+    subtype: int
+    to_ds: bool = False
+    from_ds: bool = False
+    retry: bool = False
+    protocol_version: int = 0
+
+    def encode(self) -> int:
+        """Pack into the on-air 16-bit little-endian value."""
+        if not (0 <= self.subtype <= 15):
+            raise CodecError(f"subtype out of range: {self.subtype}")
+        value = self.protocol_version & 0x3
+        value |= (int(self.frame_type) & 0x3) << 2
+        value |= (self.subtype & 0xF) << 4
+        value |= int(self.to_ds) << 8
+        value |= int(self.from_ds) << 9
+        value |= int(self.retry) << 11
+        return value
+
+    @classmethod
+    def decode(cls, value: int) -> "Dot11FrameControl":
+        """Unpack from the on-air 16-bit value."""
+        return cls(
+            protocol_version=value & 0x3,
+            frame_type=FrameType((value >> 2) & 0x3),
+            subtype=(value >> 4) & 0xF,
+            to_ds=bool(value & (1 << 8)),
+            from_ds=bool(value & (1 << 9)),
+            retry=bool(value & (1 << 11)),
+        )
+
+
+@dataclass(frozen=True)
+class Dot11Header:
+    """The fixed 24-byte 802.11 MAC header (three-address format)."""
+
+    frame_control: Dot11FrameControl
+    duration_us: int
+    addr1: MacAddress  # receiver
+    addr2: MacAddress  # transmitter
+    addr3: MacAddress  # BSSID (for FromDS data: source)
+    sequence: int = 0
+    fragment: int = 0
+
+    HEADER_LEN = 24
+
+    def encode(self) -> bytes:
+        """Serialise to 24 bytes, little-endian per the standard."""
+        if not (0 <= self.duration_us <= 0xFFFF):
+            raise CodecError(f"duration out of range: {self.duration_us}")
+        if not (0 <= self.sequence <= 0xFFF):
+            raise CodecError(f"sequence number out of range: {self.sequence}")
+        if not (0 <= self.fragment <= 0xF):
+            raise CodecError(f"fragment number out of range: {self.fragment}")
+        seq_ctrl = (self.sequence << 4) | self.fragment
+        return struct.pack(
+            "<HH6s6s6sH",
+            self.frame_control.encode(),
+            self.duration_us,
+            self.addr1.octets,
+            self.addr2.octets,
+            self.addr3.octets,
+            seq_ctrl,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["Dot11Header", bytes]:
+        """Parse the header; return it and the remaining body bytes."""
+        require_length(data, cls.HEADER_LEN, "802.11 header")
+        fc, duration, a1, a2, a3, seq_ctrl = struct.unpack(
+            "<HH6s6s6sH", data[: cls.HEADER_LEN]
+        )
+        header = cls(
+            frame_control=Dot11FrameControl.decode(fc),
+            duration_us=duration,
+            addr1=MacAddress(a1),
+            addr2=MacAddress(a2),
+            addr3=MacAddress(a3),
+            sequence=seq_ctrl >> 4,
+            fragment=seq_ctrl & 0xF,
+        )
+        return header, data[cls.HEADER_LEN :]
+
+
+def _fcs(data: bytes) -> int:
+    """IEEE CRC-32 frame check sequence over the MAC header and body."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Dot11Data:
+    """A data frame: MAC header + payload (+ FCS when encoded with one)."""
+
+    header: Dot11Header
+    payload: bytes = b""
+
+    @classmethod
+    def broadcast(
+        cls,
+        transmitter: MacAddress,
+        bssid: MacAddress,
+        payload: bytes,
+        sequence: int = 0,
+        duration_us: int = 0,
+    ) -> "Dot11Data":
+        """Build a FromDS broadcast data frame, as the power packets are sent.
+
+        Broadcast frames set duration to 0: no ACK follows, so no medium
+        reservation beyond the frame itself is needed — this is why the
+        paper's power packets require no acknowledgements (§3.2 footnote).
+        """
+        fc = Dot11FrameControl(FrameType.DATA, SUBTYPE_DATA, from_ds=True)
+        header = Dot11Header(
+            frame_control=fc,
+            duration_us=duration_us,
+            addr1=BROADCAST_MAC,
+            addr2=transmitter,
+            addr3=bssid,
+            sequence=sequence,
+        )
+        return cls(header=header, payload=payload)
+
+    def encode(self, with_fcs: bool = True) -> bytes:
+        """Serialise, appending the 4-byte FCS trailer when requested."""
+        body = self.header.encode() + self.payload
+        if with_fcs:
+            body += struct.pack("<I", _fcs(body))
+        return body
+
+    @classmethod
+    def decode(cls, data: bytes, with_fcs: bool = True) -> "Dot11Data":
+        """Parse a data frame, verifying the FCS when present."""
+        if with_fcs:
+            require_length(data, Dot11Header.HEADER_LEN + 4, "802.11 data frame")
+            body, trailer = data[:-4], data[-4:]
+            (expected,) = struct.unpack("<I", trailer)
+            actual = _fcs(body)
+            if actual != expected:
+                raise ChecksumError(
+                    f"FCS mismatch: frame says {expected:#010x}, computed {actual:#010x}"
+                )
+        else:
+            body = data
+        header, payload = Dot11Header.decode(body)
+        if header.frame_control.frame_type != FrameType.DATA:
+            raise CodecError(
+                f"not a data frame: type={header.frame_control.frame_type!r}"
+            )
+        return cls(header=header, payload=payload)
+
+    @property
+    def on_air_length(self) -> int:
+        """Total MAC-layer bytes on the air (header + payload + FCS)."""
+        return Dot11Header.HEADER_LEN + len(self.payload) + 4
+
+
+@dataclass(frozen=True)
+class Dot11Beacon:
+    """A beacon management frame with the fixed fields PoWiFi cares about.
+
+    Beacons matter to PoWiFi because the harvester draws power from *all*
+    router transmissions; a beacon every ~102.4 ms contributes a small
+    baseline occupancy on every channel.
+    """
+
+    bssid: MacAddress
+    ssid: str
+    beacon_interval_tu: int = 100  # 1 TU = 1024 us
+    capabilities: int = 0x0401  # ESS + short slot
+    timestamp: int = 0
+    sequence: int = 0
+
+    FIXED_FIELDS_LEN = 12  # timestamp(8) + interval(2) + capabilities(2)
+
+    def encode(self, with_fcs: bool = True) -> bytes:
+        """Serialise header, fixed fields, and an SSID information element."""
+        ssid_bytes = self.ssid.encode("utf-8")
+        if len(ssid_bytes) > 32:
+            raise CodecError(f"SSID too long: {len(ssid_bytes)} bytes (max 32)")
+        fc = Dot11FrameControl(FrameType.MANAGEMENT, SUBTYPE_BEACON)
+        header = Dot11Header(
+            frame_control=fc,
+            duration_us=0,
+            addr1=BROADCAST_MAC,
+            addr2=self.bssid,
+            addr3=self.bssid,
+            sequence=self.sequence,
+        )
+        fixed = struct.pack(
+            "<QHH", self.timestamp, self.beacon_interval_tu, self.capabilities
+        )
+        ssid_ie = bytes([0, len(ssid_bytes)]) + ssid_bytes
+        body = header.encode() + fixed + ssid_ie
+        if with_fcs:
+            body += struct.pack("<I", _fcs(body))
+        return body
+
+    @classmethod
+    def decode(cls, data: bytes, with_fcs: bool = True) -> "Dot11Beacon":
+        """Parse a beacon frame (header, fixed fields, SSID IE)."""
+        if with_fcs:
+            require_length(data, Dot11Header.HEADER_LEN + 4, "beacon frame")
+            body, trailer = data[:-4], data[-4:]
+            (expected,) = struct.unpack("<I", trailer)
+            if _fcs(body) != expected:
+                raise ChecksumError("beacon FCS mismatch")
+        else:
+            body = data
+        header, rest = Dot11Header.decode(body)
+        if (
+            header.frame_control.frame_type != FrameType.MANAGEMENT
+            or header.frame_control.subtype != SUBTYPE_BEACON
+        ):
+            raise CodecError("not a beacon frame")
+        require_length(rest, cls.FIXED_FIELDS_LEN + 2, "beacon fixed fields")
+        timestamp, interval, caps = struct.unpack("<QHH", rest[:12])
+        ies = rest[12:]
+        if ies[0] != 0:
+            raise CodecError(f"expected SSID IE first, got element id {ies[0]}")
+        ssid_len = ies[1]
+        require_length(ies, 2 + ssid_len, "SSID IE")
+        ssid = ies[2 : 2 + ssid_len].decode("utf-8", errors="replace")
+        return cls(
+            bssid=header.addr2,
+            ssid=ssid,
+            beacon_interval_tu=interval,
+            capabilities=caps,
+            timestamp=timestamp,
+            sequence=header.sequence,
+        )

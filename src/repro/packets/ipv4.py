@@ -1,0 +1,197 @@
+"""IPv4 codec with the PoWiFi ``IP_Power`` option.
+
+The paper's kernel mechanism (§3.2) marks outgoing power datagrams with a
+custom IP option so that ``ip_local_out_sk()`` can recognise them and apply
+the per-channel queue-depth check. We reproduce the wire format: an
+experimental, copied IP option carrying the identifier of the wireless
+interface the datagram is bound to.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ChecksumError, CodecError
+from repro.packets.bytesutil import internet_checksum, require_length
+
+#: Option type byte for IP_Power: copied flag set (bit 7), option class 2
+#: (debugging/measurement), option number 30 (experimental range).
+IP_OPTION_POWER = 0xDE
+
+#: Protocol number for UDP.
+PROTO_UDP = 17
+
+
+@dataclass(frozen=True)
+class IpPowerOption:
+    """The IP_Power option: marks a datagram as PoWiFi power traffic.
+
+    Attributes
+    ----------
+    interface_id:
+        Integer identifying the wireless interface (and therefore the Wi-Fi
+        channel) this power datagram targets; set by the user-space injector
+        on socket creation (§3.2, Power_Socket).
+    """
+
+    interface_id: int
+
+    LENGTH = 4
+
+    def encode(self) -> bytes:
+        """Serialise as type, length, 16-bit interface id."""
+        if not (0 <= self.interface_id <= 0xFFFF):
+            raise CodecError(f"interface id out of range: {self.interface_id}")
+        return struct.pack(">BBH", IP_OPTION_POWER, self.LENGTH, self.interface_id)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IpPowerOption":
+        """Parse a single IP_Power option."""
+        require_length(data, cls.LENGTH, "IP_Power option")
+        opt_type, length, interface_id = struct.unpack(">BBH", data[: cls.LENGTH])
+        if opt_type != IP_OPTION_POWER:
+            raise CodecError(f"not an IP_Power option: type={opt_type:#x}")
+        if length != cls.LENGTH:
+            raise CodecError(f"bad IP_Power option length: {length}")
+        return cls(interface_id=interface_id)
+
+
+def _pad_options(options: bytes) -> bytes:
+    """Pad the options area with EOL (0) bytes to a 32-bit boundary."""
+    remainder = len(options) % 4
+    if remainder:
+        options += b"\x00" * (4 - remainder)
+    return options
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """An IPv4 datagram with optional IP_Power option.
+
+    Only the fields the reproduction exercises are configurable; the rest
+    are encoded with standard defaults.
+    """
+
+    src: str
+    dst: str
+    payload: bytes = b""
+    protocol: int = PROTO_UDP
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    power_option: Optional[IpPowerOption] = None
+
+    BASE_HEADER_LEN = 20
+
+    @staticmethod
+    def _pack_address(text: str) -> bytes:
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise CodecError(f"malformed IPv4 address {text!r}")
+        try:
+            octets = bytes(int(p) for p in parts)
+        except ValueError as exc:
+            raise CodecError(f"malformed IPv4 address {text!r}") from exc
+        if any(not (0 <= int(p) <= 255) for p in parts):
+            raise CodecError(f"malformed IPv4 address {text!r}")
+        return octets
+
+    @staticmethod
+    def _unpack_address(data: bytes) -> str:
+        return ".".join(str(b) for b in data)
+
+    @property
+    def header_length(self) -> int:
+        """Header length in bytes, including padded options."""
+        options = self.power_option.encode() if self.power_option else b""
+        return self.BASE_HEADER_LEN + len(_pad_options(options))
+
+    @property
+    def is_power_packet(self) -> bool:
+        """True when the datagram carries the IP_Power marker."""
+        return self.power_option is not None
+
+    def encode(self) -> bytes:
+        """Serialise with a correct header checksum."""
+        options = _pad_options(self.power_option.encode() if self.power_option else b"")
+        ihl_words = (self.BASE_HEADER_LEN + len(options)) // 4
+        if ihl_words > 15:
+            raise CodecError("IPv4 options too long")
+        total_length = ihl_words * 4 + len(self.payload)
+        if total_length > 0xFFFF:
+            raise CodecError(f"datagram too long: {total_length}")
+        version_ihl = (4 << 4) | ihl_words
+        header_wo_checksum = struct.pack(
+            ">BBHHHBBH4s4s",
+            version_ihl,
+            self.dscp << 2,
+            total_length,
+            self.identification,
+            0,  # flags+fragment offset: never fragmented in this library
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self._pack_address(self.src),
+            self._pack_address(self.dst),
+        ) + options
+        checksum = internet_checksum(header_wo_checksum)
+        header = header_wo_checksum[:10] + struct.pack(">H", checksum) + header_wo_checksum[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = True) -> "IPv4Packet":
+        """Parse an IPv4 datagram, recognising the IP_Power option."""
+        require_length(data, cls.BASE_HEADER_LEN, "IPv4 header")
+        version_ihl = data[0]
+        if version_ihl >> 4 != 4:
+            raise CodecError(f"not IPv4: version={version_ihl >> 4}")
+        ihl = (version_ihl & 0xF) * 4
+        require_length(data, ihl, "IPv4 header with options")
+        if verify_checksum and internet_checksum(data[:ihl]) != 0:
+            raise ChecksumError("IPv4 header checksum mismatch")
+        (
+            _vihl,
+            tos,
+            total_length,
+            identification,
+            _flags_frag,
+            ttl,
+            protocol,
+            _checksum,
+            src,
+            dst,
+        ) = struct.unpack(">BBHHHBBH4s4s", data[: cls.BASE_HEADER_LEN])
+        if total_length < ihl or total_length > len(data):
+            raise CodecError(
+                f"bad IPv4 total length {total_length} (ihl={ihl}, buffer={len(data)})"
+            )
+        options = data[cls.BASE_HEADER_LEN : ihl]
+        power_option = None
+        i = 0
+        while i < len(options):
+            opt_type = options[i]
+            if opt_type == 0:  # end of options
+                break
+            if opt_type == 1:  # no-op
+                i += 1
+                continue
+            require_length(options, i + 2, "IPv4 option header")
+            opt_len = options[i + 1]
+            if opt_len < 2:
+                raise CodecError(f"bad IPv4 option length {opt_len}")
+            require_length(options, i + opt_len, "IPv4 option body")
+            if opt_type == IP_OPTION_POWER:
+                power_option = IpPowerOption.decode(options[i : i + opt_len])
+            i += opt_len
+        return cls(
+            src=cls._unpack_address(src),
+            dst=cls._unpack_address(dst),
+            payload=data[ihl:total_length],
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            dscp=tos >> 2,
+            power_option=power_option,
+        )

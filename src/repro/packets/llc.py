@@ -1,0 +1,46 @@
+"""LLC/SNAP encapsulation.
+
+802.11 data frames carry IP inside an 802.2 LLC header with a SNAP extension;
+the 8-byte sequence ``AA AA 03 00 00 00`` + ethertype precedes every IP
+datagram the PoWiFi injector sends.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import CodecError
+from repro.packets.bytesutil import require_length
+
+#: Ethertype carried in the SNAP header for IPv4 payloads.
+ETHERTYPE_IPV4 = 0x0800
+
+
+@dataclass(frozen=True)
+class LlcSnapHeader:
+    """The 8-byte LLC/SNAP header (DSAP=SSAP=0xAA, UI control, zero OUI)."""
+
+    ethertype: int = ETHERTYPE_IPV4
+
+    LENGTH = 8
+
+    def encode(self) -> bytes:
+        """Serialise to the canonical 8 bytes."""
+        if not (0 <= self.ethertype <= 0xFFFF):
+            raise CodecError(f"ethertype out of range: {self.ethertype:#x}")
+        return struct.pack(">BBB3sH", 0xAA, 0xAA, 0x03, b"\x00\x00\x00", self.ethertype)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["LlcSnapHeader", bytes]:
+        """Parse; return the header and the remaining payload."""
+        require_length(data, cls.LENGTH, "LLC/SNAP header")
+        dsap, ssap, control, oui, ethertype = struct.unpack(">BBB3sH", data[: cls.LENGTH])
+        if dsap != 0xAA or ssap != 0xAA or control != 0x03:
+            raise CodecError(
+                f"not an LLC/SNAP header: dsap={dsap:#x} ssap={ssap:#x} ctl={control:#x}"
+            )
+        if oui != b"\x00\x00\x00":
+            raise CodecError(f"unsupported SNAP OUI {oui.hex()}")
+        return cls(ethertype=ethertype), data[cls.LENGTH :]

@@ -1,0 +1,157 @@
+"""Classic pcap container (the format tcpdump wrote in the paper's pipeline).
+
+Implements the libpcap 2.4 file format with microsecond timestamps. The
+monitor-mode capture in :mod:`repro.mac80211.capture` writes radiotap-framed
+802.11 bytes into these files and the occupancy analyzer reads them back —
+the same division of labour as tcpdump + tshark in §4.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import CodecError, TruncatedFrameError
+
+#: Magic for microsecond-resolution classic pcap, written big-endian here.
+PCAP_MAGIC = 0xA1B2C3D4
+
+#: Linktype for 802.11 frames prefixed with a radiotap header.
+LINKTYPE_IEEE802_11_RADIOTAP = 127
+
+#: Linktype for bare 802.11 frames.
+LINKTYPE_IEEE802_11 = 105
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured packet: a timestamp plus raw bytes."""
+
+    timestamp: float
+    data: bytes
+    original_length: int
+
+    @property
+    def truncated(self) -> bool:
+        """True when the capture snaplen cut the packet short."""
+        return self.original_length > len(self.data)
+
+
+class PcapWriter:
+    """Streams packets into a classic pcap file or file-like object."""
+
+    def __init__(
+        self,
+        target: Union[str, BinaryIO],
+        linktype: int = LINKTYPE_IEEE802_11_RADIOTAP,
+        snaplen: int = 65535,
+    ) -> None:
+        if isinstance(target, str):
+            self._fh: BinaryIO = open(target, "wb")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self.linktype = linktype
+        self.snaplen = snaplen
+        self._count = 0
+        self._fh.write(
+            _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, linktype)
+        )
+
+    @property
+    def packet_count(self) -> int:
+        """Number of records written so far."""
+        return self._count
+
+    def write(self, timestamp: float, data: bytes) -> None:
+        """Append one packet captured at ``timestamp`` (seconds)."""
+        if timestamp < 0:
+            raise CodecError(f"negative capture timestamp {timestamp!r}")
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1e6))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        captured = data[: self.snaplen]
+        self._fh.write(
+            _RECORD_HEADER.pack(seconds, micros, len(captured), len(data))
+        )
+        self._fh.write(captured)
+        self._count += 1
+
+    def close(self) -> None:
+        """Flush and close (closes the file only if this writer opened it)."""
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterates records out of a classic pcap file or file-like object."""
+
+    def __init__(self, source: Union[str, BinaryIO, bytes]) -> None:
+        if isinstance(source, str):
+            self._fh: BinaryIO = open(source, "rb")
+            self._owns_fh = True
+        elif isinstance(source, bytes):
+            self._fh = io.BytesIO(source)
+            self._owns_fh = True
+        else:
+            self._fh = source
+            self._owns_fh = False
+        header = self._fh.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise TruncatedFrameError("pcap global header truncated")
+        magic, major, minor, _tz, _sig, snaplen, linktype = _GLOBAL_HEADER.unpack(header)
+        if magic != PCAP_MAGIC:
+            raise CodecError(f"bad pcap magic {magic:#010x}")
+        if (major, minor) != (2, 4):
+            raise CodecError(f"unsupported pcap version {major}.{minor}")
+        self.snaplen = snaplen
+        self.linktype = linktype
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        return self
+
+    def __next__(self) -> PcapRecord:
+        header = self._fh.read(_RECORD_HEADER.size)
+        if not header:
+            raise StopIteration
+        if len(header) < _RECORD_HEADER.size:
+            raise TruncatedFrameError("pcap record header truncated")
+        seconds, micros, incl_len, orig_len = _RECORD_HEADER.unpack(header)
+        data = self._fh.read(incl_len)
+        if len(data) < incl_len:
+            raise TruncatedFrameError("pcap record body truncated")
+        return PcapRecord(
+            timestamp=seconds + micros / 1e6,
+            data=data,
+            original_length=orig_len,
+        )
+
+    def read_all(self) -> List[PcapRecord]:
+        """Materialise every remaining record."""
+        return list(self)
+
+    def close(self) -> None:
+        """Close the underlying file if this reader opened it."""
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,142 @@
+"""Radiotap capture header codec.
+
+The paper computes channel occupancy from the radiotap headers tcpdump
+records on a monitor interface: each captured frame's **rate** and **size**
+give its airtime (§4, "Measuring the router's channel occupancy"). We
+implement the radiotap fields that pipeline needs — TSFT, Flags, Rate and
+Channel — with the alignment rules of the radiotap specification.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import CodecError
+from repro.packets.bytesutil import require_length
+
+#: Present-word bits (radiotap field indices).
+RT_TSFT = 0
+RT_FLAGS = 1
+RT_RATE = 2
+RT_CHANNEL = 3
+
+#: Channel-flags bit: 2.4 GHz spectrum.
+CHAN_2GHZ = 0x0080
+#: Channel-flags bit: dynamic CCK-OFDM (802.11g).
+CHAN_DYN = 0x0400
+
+#: Flags bit: frame includes FCS at end.
+FLAG_FCS_AT_END = 0x10
+
+
+def _align(offset: int, alignment: int) -> int:
+    """Round ``offset`` up to a multiple of ``alignment``."""
+    remainder = offset % alignment
+    return offset if remainder == 0 else offset + (alignment - remainder)
+
+
+@dataclass(frozen=True)
+class RadiotapHeader:
+    """A radiotap header carrying TSFT, flags, rate and channel.
+
+    Attributes
+    ----------
+    tsft_us:
+        MAC timestamp (microseconds since interface start) of the first bit.
+    rate_mbps:
+        PHY bit rate the frame was sent at, in Mb/s (0.5 Mb/s resolution).
+    channel_mhz:
+        Channel centre frequency in MHz (e.g. 2412 for channel 1).
+    flags:
+        Radiotap per-frame flags; :data:`FLAG_FCS_AT_END` is set when the
+        captured frame bytes include the FCS trailer.
+    """
+
+    tsft_us: int = 0
+    rate_mbps: float = 1.0
+    channel_mhz: int = 2412
+    flags: int = FLAG_FCS_AT_END
+
+    def encode(self) -> bytes:
+        """Serialise header; field order and alignment follow the spec."""
+        rate_units = int(round(self.rate_mbps * 2))
+        if not (0 < rate_units <= 0xFF):
+            raise CodecError(f"rate {self.rate_mbps} Mb/s not encodable")
+        present = (1 << RT_TSFT) | (1 << RT_FLAGS) | (1 << RT_RATE) | (1 << RT_CHANNEL)
+        fields = bytearray()
+        offset = 8  # version+pad+len+present
+        # TSFT: u64, align 8.
+        aligned = _align(offset, 8)
+        fields += b"\x00" * (aligned - offset)
+        fields += struct.pack("<Q", self.tsft_us & 0xFFFFFFFFFFFFFFFF)
+        offset = aligned + 8
+        # Flags: u8, align 1.
+        fields += struct.pack("<B", self.flags & 0xFF)
+        offset += 1
+        # Rate: u8, align 1.
+        fields += struct.pack("<B", rate_units)
+        offset += 1
+        # Channel: u16 freq + u16 flags, align 2.
+        aligned = _align(offset, 2)
+        fields += b"\x00" * (aligned - offset)
+        chan_flags = CHAN_2GHZ | CHAN_DYN
+        fields += struct.pack("<HH", self.channel_mhz, chan_flags)
+        offset = aligned + 4
+        header = struct.pack("<BBHI", 0, 0, offset, present) + bytes(fields)
+        if len(header) != offset:
+            raise CodecError("internal radiotap length accounting error")
+        return header
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["RadiotapHeader", bytes]:
+        """Parse a radiotap header; return it plus the encapsulated frame.
+
+        Unknown present bits beyond the four we emit are rejected rather than
+        skipped: this library only ever parses its own captures, and silent
+        misalignment would corrupt the occupancy statistics downstream.
+        """
+        require_length(data, 8, "radiotap header")
+        version, _pad, length, present = struct.unpack("<BBHI", data[:8])
+        if version != 0:
+            raise CodecError(f"unsupported radiotap version {version}")
+        if present & (1 << 31):
+            raise CodecError("chained radiotap present words not supported")
+        known = (1 << RT_TSFT) | (1 << RT_FLAGS) | (1 << RT_RATE) | (1 << RT_CHANNEL)
+        if present & ~known:
+            raise CodecError(f"unsupported radiotap fields: present={present:#010x}")
+        require_length(data, length, "radiotap header body")
+        offset = 8
+        tsft_us = 0
+        flags = 0
+        rate_mbps = 0.0
+        channel_mhz = 0
+        if present & (1 << RT_TSFT):
+            offset = _align(offset, 8)
+            (tsft_us,) = struct.unpack_from("<Q", data, offset)
+            offset += 8
+        if present & (1 << RT_FLAGS):
+            flags = data[offset]
+            offset += 1
+        if present & (1 << RT_RATE):
+            rate_mbps = data[offset] / 2.0
+            offset += 1
+        if present & (1 << RT_CHANNEL):
+            offset = _align(offset, 2)
+            channel_mhz, _chan_flags = struct.unpack_from("<HH", data, offset)
+            offset += 4
+        if offset > length:
+            raise CodecError("radiotap fields overrun declared header length")
+        header = cls(
+            tsft_us=tsft_us,
+            rate_mbps=rate_mbps,
+            channel_mhz=channel_mhz,
+            flags=flags,
+        )
+        return header, data[length:]
+
+    @property
+    def has_fcs(self) -> bool:
+        """True when the encapsulated frame bytes end with an FCS."""
+        return bool(self.flags & FLAG_FCS_AT_END)

@@ -1,0 +1,80 @@
+"""UDP codec.
+
+The power traffic is plain UDP broadcast datagrams (§3.2); we implement the
+full header including the optional checksum over the IPv4 pseudo-header so
+captures round-trip faithfully.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError, CodecError
+from repro.packets.bytesutil import internet_checksum, require_length
+from repro.packets.ipv4 import IPv4Packet
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram (header + payload)."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    HEADER_LEN = 8
+
+    def __post_init__(self) -> None:
+        for label, port in (("src", self.src_port), ("dst", self.dst_port)):
+            if not (0 <= port <= 0xFFFF):
+                raise CodecError(f"{label} port out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        """Total datagram length (header + payload) in bytes."""
+        return self.HEADER_LEN + len(self.payload)
+
+    def _pseudo_header(self, src_ip: str, dst_ip: str) -> bytes:
+        return (
+            IPv4Packet._pack_address(src_ip)
+            + IPv4Packet._pack_address(dst_ip)
+            + struct.pack(">BBH", 0, 17, self.length)
+        )
+
+    def encode(self, src_ip: str = "", dst_ip: str = "") -> bytes:
+        """Serialise; computes the checksum when both IPs are provided.
+
+        A zero checksum means "not computed", which is legal for IPv4 UDP —
+        the injector uses this to avoid per-packet checksum cost, exactly as
+        a kernel fast path would with checksum offload unavailable.
+        """
+        checksum = 0
+        if src_ip and dst_ip:
+            pseudo = self._pseudo_header(src_ip, dst_ip)
+            header_wo_sum = struct.pack(
+                ">HHHH", self.src_port, self.dst_port, self.length, 0
+            )
+            checksum = internet_checksum(pseudo + header_wo_sum + self.payload)
+            if checksum == 0:
+                checksum = 0xFFFF  # RFC 768: transmitted as all ones
+        return struct.pack(
+            ">HHHH", self.src_port, self.dst_port, self.length, checksum
+        ) + self.payload
+
+    @classmethod
+    def decode(
+        cls, data: bytes, src_ip: str = "", dst_ip: str = ""
+    ) -> "UdpDatagram":
+        """Parse; verifies the checksum when IPs are provided and it is set."""
+        require_length(data, cls.HEADER_LEN, "UDP header")
+        src_port, dst_port, length, checksum = struct.unpack(">HHHH", data[:8])
+        if length < cls.HEADER_LEN or length > len(data):
+            raise CodecError(f"bad UDP length {length} (buffer={len(data)})")
+        payload = data[cls.HEADER_LEN : length]
+        datagram = cls(src_port=src_port, dst_port=dst_port, payload=payload)
+        if checksum != 0 and src_ip and dst_ip:
+            pseudo = datagram._pseudo_header(src_ip, dst_ip)
+            if internet_checksum(pseudo + data[:length]) != 0:
+                raise ChecksumError("UDP checksum mismatch")
+        return datagram

@@ -1,0 +1,116 @@
+"""The Wi-Fi charging hotspot (§8(a), Fig 16).
+
+A USB charger built from a 2 dBi antenna and a harvester optimised for
+higher input powers, placed 5–7 cm from the PoWiFi router. The paper
+measures 2.3 mA average charging current into a Jawbone UP24, taking its
+battery from empty to 41 % in 2.5 hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.harvester.harvester import Harvester, battery_recharging_harvester
+from repro.rf.link import LinkBudget, Transmitter
+from repro.units import dbm_to_watts, watts_to_dbm
+
+#: The Jawbone UP24's effective battery capacity at the charging voltage.
+#: Teardowns report a ~38 mAh cell; the effective capacity the charge
+#: controller exposes between empty-indication and full is smaller, and the
+#: paper's own numbers (2.3 mA average, 0 -> 41 % in 2.5 h) imply ~14 mAh.
+JAWBONE_UP24_CAPACITY_MAH = 14.0
+
+#: USB-side charging voltage after the charger's regulator.
+CHARGE_VOLTAGE_V = 3.8
+
+
+@dataclass(frozen=True)
+class ChargeResult:
+    """Outcome of a charging session."""
+
+    average_current_ma: float
+    duration_hours: float
+    charge_fraction_gained: float
+
+
+class UsbWiFiCharger:
+    """The §8(a) USB charger: a high-power-optimised harvester.
+
+    At 5–7 cm from a 30 dBm router the incident power is in the milliwatt
+    range, so the charger's rectifier is biased well into its efficient
+    region; the model reuses the battery-recharging harvester chain but
+    without the compression penalty re-tuned for far-field powers.
+
+    Parameters
+    ----------
+    harvester:
+        Override the default chain.
+    regulator_efficiency:
+        The USB output regulator's efficiency.
+    """
+
+    def __init__(
+        self,
+        harvester: Optional[Harvester] = None,
+        regulator_efficiency: float = 0.90,
+    ) -> None:
+        if not (0.0 < regulator_efficiency <= 1.0):
+            raise ConfigurationError("regulator efficiency must be in (0, 1]")
+        self.harvester = harvester or battery_recharging_harvester()
+        self.regulator_efficiency = regulator_efficiency
+
+    def charging_current_ma(
+        self, incident_power_dbm: float, frequency_hz: float = 2.437e9
+    ) -> float:
+        """Average charge current into the device at ``incident_power_dbm``.
+
+        Near-field placement (5–7 cm) puts the incident power near the
+        rectifier's compression region; the high-power-optimised charger
+        trades sensitivity for current, modelled by evaluating the chain at
+        its bulk operating point without the far-field compression (the
+        charger uses larger diodes per §8(a)'s "optimized for higher input
+        power values").
+        """
+        p_in = dbm_to_watts(incident_power_dbm)
+        delivered, va, voc = self.harvester._regime(p_in, frequency_hz, loaded=True)
+        eta = self.harvester.rectifier.conversion_efficiency(va)
+        # High-power build: no breakdown compression (stacked diodes).
+        p_rect = delivered * 0.75 * eta
+        v_op = max(0.5 * voc, 0.2)
+        p_dc = self.harvester.dcdc.transfer(p_rect, v_op) * self.regulator_efficiency
+        return p_dc / CHARGE_VOLTAGE_V * 1e3
+
+    def charge_session(
+        self,
+        incident_power_dbm: float,
+        duration_hours: float,
+        capacity_mah: float = JAWBONE_UP24_CAPACITY_MAH,
+        initial_fraction: float = 0.0,
+    ) -> ChargeResult:
+        """Simulate a charging session (the Fig 16 experiment)."""
+        if duration_hours <= 0:
+            raise ConfigurationError("duration must be > 0")
+        if not (0.0 <= initial_fraction <= 1.0):
+            raise ConfigurationError("initial charge fraction must be in [0, 1]")
+        current = self.charging_current_ma(incident_power_dbm)
+        gained_mah = current * duration_hours
+        fraction = min(1.0 - initial_fraction, gained_mah / capacity_mah)
+        return ChargeResult(
+            average_current_ma=current,
+            duration_hours=duration_hours,
+            charge_fraction_gained=fraction,
+        )
+
+
+def hotspot_incident_power_dbm(distance_cm: float = 6.0) -> float:
+    """Incident power at the charger a few centimetres from the router.
+
+    Free-space at such short range from a 30 dBm / 6 dBi transmit chain,
+    with near-field aperture coupling losses folded into a flat 9 dB.
+    """
+    if distance_cm <= 0:
+        raise ConfigurationError("distance must be > 0")
+    link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+    return link.received_power_dbm(distance_cm / 100.0) - 9.0

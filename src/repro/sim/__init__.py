@@ -1,0 +1,19 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small: an event heap with deterministic
+tie-breaking, named pseudo-random streams for reproducibility, and a trace
+recorder. Everything in the MAC, network-stack and harvester simulators is
+built on these primitives.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RandomStreams",
+    "TraceRecord",
+    "TraceRecorder",
+]

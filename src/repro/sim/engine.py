@@ -1,0 +1,177 @@
+"""Core discrete-event simulator.
+
+A :class:`Simulator` owns a priority queue of timestamped events. Components
+schedule callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and the main loop dispatches
+them in time order. Ties are broken by insertion order so runs are fully
+deterministic for a given seed.
+
+The engine is synchronous and single-threaded; "processes" in the MAC layer
+are small state machines that re-schedule themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by the ``schedule*`` methods and may be cancelled.
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    popped, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.name = name or getattr(callback, "__name__", "event")
+
+    def cancel(self) -> None:
+        """Mark the event so the dispatcher skips it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.name!r} t={self.time:.9f} {state}>"
+
+
+class Simulator:
+    """Single-threaded discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation clock value in seconds.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> fired
+    ['hello']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-dispatched, not-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def dispatched_events(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._dispatched
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time!r} < now={self._now!r}"
+            )
+        event = Event(time, next(self._seq), callback, args, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Dispatch events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time. Events at exactly
+            ``until`` are dispatched. When the queue drains earlier, the
+            clock is advanced to ``until`` so periodic samplers observe a
+            well-defined end time.
+        max_events:
+            Safety valve against runaway self-rescheduling loops.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        dispatched_this_run = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+                self._dispatched += 1
+                dispatched_this_run += 1
+                if max_events is not None and dispatched_this_run >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_empty(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain (bounded by ``max_events``)."""
+        self.run(max_events=max_events)
+        if self.pending_events:
+            raise SimulationError(
+                f"event budget of {max_events} exhausted with "
+                f"{self.pending_events} events still pending"
+            )

@@ -1,0 +1,58 @@
+"""Named deterministic random streams.
+
+Every stochastic component (backoff draws, traffic arrivals, channel fading,
+home activity) pulls from its own named stream so that adding a new component
+never perturbs the draws seen by existing ones — runs stay comparable across
+library versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """A factory of independent, reproducibly seeded ``random.Random`` streams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed. Two :class:`RandomStreams` built with the same seed
+        hand out identical streams for identical names.
+
+    Examples
+    --------
+    >>> a = RandomStreams(7).stream("backoff").random()
+    >>> b = RandomStreams(7).stream("backoff").random()
+    >>> a == b
+    True
+    >>> RandomStreams(7).stream("arrivals").random() == a
+    False
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed this factory was built with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream for ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(self._derive_seed(name))
+            self._streams[name] = stream
+        return stream
+
+    def _derive_seed(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self._seed}:{name}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def fork(self, label: str) -> "RandomStreams":
+        """Derive a child factory, e.g. one per simulated home."""
+        return RandomStreams(self._derive_seed(f"fork:{label}"))

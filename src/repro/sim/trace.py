@@ -1,0 +1,88 @@
+"""Lightweight structured tracing for simulation runs.
+
+The MAC layer, the router and the harvester all emit :class:`TraceRecord`
+entries into a shared :class:`TraceRecorder`. Experiment drivers filter the
+records afterwards (e.g. "all frames transmitted by the router on channel 6")
+— the same post-processing role tcpdump/tshark played in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    source:
+        Name of the component that emitted the record.
+    kind:
+        Short machine-readable event type, e.g. ``"tx_start"``.
+    fields:
+        Free-form payload describing the occurrence.
+    """
+
+    time: float
+    source: str
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into :attr:`fields`."""
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` entries during a run.
+
+    Recording can be limited to certain kinds to keep long runs cheap.
+    """
+
+    def __init__(self, enabled_kinds: Optional[List[str]] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._enabled_kinds = set(enabled_kinds) if enabled_kinds is not None else None
+
+    def emit(self, time: float, source: str, kind: str, **fields: Any) -> None:
+        """Record one occurrence (no-op if ``kind`` is filtered out)."""
+        if self._enabled_kinds is not None and kind not in self._enabled_kinds:
+            return
+        self._records.append(TraceRecord(time, source, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All records in emission order."""
+        return list(self._records)
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching all provided criteria."""
+        out = []
+        for record in self._records:
+            if kind is not None and record.kind != kind:
+                continue
+            if source is not None and record.source != source:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self._records.clear()

@@ -1,0 +1,137 @@
+"""Unit conversions used throughout the PoWiFi reproduction.
+
+The RF world mixes logarithmic (dB, dBm, dBi) and linear (watts, volts)
+quantities, SI and imperial distances (the paper reports ranges in feet), and
+several time bases (microseconds on the air, minutes between camera frames).
+Centralising the conversions keeps the rest of the library honest about what a
+number means.
+
+Conventions
+-----------
+* Power is carried in **watts** internally; ``dbm``/``milliwatts`` helpers
+  exist at the boundaries.
+* Distance is carried in **metres** internally; the experiment drivers accept
+  feet because the paper's figures use feet.
+* Time is carried in **seconds** (floats) in the simulation engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s), used for wavelength computations.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Metres per foot; the paper's distances are in feet.
+METERS_PER_FOOT = 0.3048
+
+#: Boltzmann constant (J/K) for thermal-noise calculations.
+BOLTZMANN = 1.380649e-23
+
+#: Standard noise-figure reference temperature (K).
+T0_KELVIN = 290.0
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts.
+
+    >>> round(dbm_to_watts(0.0), 6)
+    0.001
+    >>> round(dbm_to_watts(30.0), 3)
+    1.0
+    """
+    return 10.0 ** (dbm / 10.0) / 1000.0
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises
+    ------
+    ValueError
+        If ``watts`` is not strictly positive (zero power has no dB value).
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be > 0 W to express in dBm, got {watts!r}")
+    return 10.0 * math.log10(watts * 1000.0)
+
+
+def dbm_to_milliwatts(dbm: float) -> float:
+    """Convert dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def milliwatts_to_dbm(milliwatts: float) -> float:
+    """Convert milliwatts to dBm."""
+    if milliwatts <= 0.0:
+        raise ValueError(f"power must be > 0 mW, got {milliwatts!r}")
+    return 10.0 * math.log10(milliwatts)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB ratio to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be > 0, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def feet_to_meters(feet: float) -> float:
+    """Convert feet to metres (paper figures use feet)."""
+    return feet * METERS_PER_FOOT
+
+def meters_to_feet(meters: float) -> float:
+    """Convert metres to feet."""
+    return meters / METERS_PER_FOOT
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength in metres for ``frequency_hz``.
+
+    >>> round(wavelength(2.437e9), 4)
+    0.123
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be > 0 Hz, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def thermal_noise_watts(bandwidth_hz: float, temperature_k: float = T0_KELVIN) -> float:
+    """Thermal-noise floor ``kTB`` in watts over ``bandwidth_hz``."""
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be > 0 Hz, got {bandwidth_hz!r}")
+    return BOLTZMANN * temperature_k * bandwidth_hz
+
+
+def microseconds(us: float) -> float:
+    """Express a duration given in microseconds as seconds."""
+    return us * 1e-6
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Express a duration given in seconds as microseconds."""
+    return seconds * 1e6
+
+
+def mbps(megabits_per_second: float) -> float:
+    """Express a rate given in Mb/s as bits per second."""
+    return megabits_per_second * 1e6
+
+
+def joules_to_microjoules(joules: float) -> float:
+    """Express energy in microjoules."""
+    return joules * 1e6
+
+
+def microjoules(uj: float) -> float:
+    """Express an energy given in microjoules as joules."""
+    return uj * 1e-6
+
+
+def millijoules(mj: float) -> float:
+    """Express an energy given in millijoules as joules."""
+    return mj * 1e-3

@@ -1,0 +1,161 @@
+"""Occupancy-trace files: export, import, replay.
+
+A deployment (real or simulated) produces a per-channel occupancy log; the
+paper's routers logged every 60 seconds over 24 hours. This module defines a
+small JSON-lines trace format for such logs so they can be archived, shared,
+and replayed — e.g. replaying a home's trace through the duty-cycle
+simulator to predict how a sensor would have fared in that exact home.
+
+Format: one JSON object per line. The first line is a header::
+
+    {"type": "header", "window_s": 60.0, "channels": [1, 6, 11]}
+
+followed by one record per window::
+
+    {"type": "window", "t": 0.0, "occupancy": {"1": 0.41, "6": 0.39, ...}}
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from repro.core.occupancy import OccupancySeries, cumulative_series
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class OccupancyTrace:
+    """A multi-channel occupancy log at fixed window resolution."""
+
+    window_s: float
+    channels: List[int]
+    #: channel -> samples, all equally long.
+    samples: Dict[int, List[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigurationError("window must be > 0")
+        if not self.channels:
+            raise ConfigurationError("trace needs at least one channel")
+        for channel in self.channels:
+            self.samples.setdefault(channel, [])
+        lengths = {len(self.samples[ch]) for ch in self.channels}
+        if len(lengths) > 1:
+            raise ConfigurationError("per-channel sample counts differ")
+
+    @property
+    def window_count(self) -> int:
+        """Number of windows recorded."""
+        return len(self.samples[self.channels[0]])
+
+    @property
+    def duration_s(self) -> float:
+        """Total span covered by the trace."""
+        return self.window_count * self.window_s
+
+    def append_window(self, occupancy: Dict[int, float]) -> None:
+        """Add one window's per-channel occupancies."""
+        missing = [ch for ch in self.channels if ch not in occupancy]
+        if missing:
+            raise ConfigurationError(f"window missing channels {missing}")
+        for channel in self.channels:
+            self.samples[channel].append(float(occupancy[channel]))
+
+    # ------------------------------------------------------------ conversions
+
+    def series(self, channel: int) -> OccupancySeries:
+        """One channel's log as an :class:`OccupancySeries`."""
+        if channel not in self.samples:
+            raise ConfigurationError(f"channel {channel} not in trace")
+        return OccupancySeries(window_s=self.window_s, samples=list(self.samples[channel]))
+
+    def cumulative(self) -> OccupancySeries:
+        """The summed cumulative series across channels."""
+        return cumulative_series([self.series(ch) for ch in self.channels])
+
+    @classmethod
+    def from_home_deployment(cls, deployment) -> "OccupancyTrace":
+        """Capture a :class:`repro.workloads.homes.HomeDeployment` log."""
+        if not deployment.samples:
+            raise ConfigurationError("deployment has not been run")
+        channels = sorted(deployment.samples[0].router_occupancy)
+        trace = cls(window_s=deployment.window_s, channels=channels)
+        for sample in deployment.samples:
+            trace.append_window(sample.router_occupancy)
+        return trace
+
+    # ------------------------------------------------------------------- I/O
+
+    def dump(self, target: Union[str, TextIO, None] = None) -> str:
+        """Serialise to the JSON-lines format."""
+        lines = [
+            json.dumps(
+                {"type": "header", "window_s": self.window_s, "channels": self.channels}
+            )
+        ]
+        for i in range(self.window_count):
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "window",
+                        "t": i * self.window_s,
+                        "occupancy": {
+                            str(ch): round(self.samples[ch][i], 6)
+                            for ch in self.channels
+                        },
+                    }
+                )
+            )
+        text = "\n".join(lines) + "\n"
+        if target is None:
+            return text
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            target.write(text)
+        return text
+
+    @classmethod
+    def load(cls, source: Union[str, TextIO]) -> "OccupancyTrace":
+        """Parse a trace written by :meth:`dump`."""
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        else:
+            lines = source.read().splitlines()
+        if not lines:
+            raise ConfigurationError("empty trace")
+        header = json.loads(lines[0])
+        if header.get("type") != "header":
+            raise ConfigurationError("trace must start with a header line")
+        trace = cls(
+            window_s=float(header["window_s"]),
+            channels=[int(ch) for ch in header["channels"]],
+        )
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if record.get("type") != "window":
+                raise ConfigurationError(f"unexpected record type {record.get('type')!r}")
+            trace.append_window(
+                {int(ch): v for ch, v in record["occupancy"].items()}
+            )
+        return trace
+
+
+def replay_through_sensor(
+    trace: OccupancyTrace,
+    duty_cycle_simulator,
+) -> "DutyCycleResult":
+    """Replay a trace's cumulative occupancy through a duty-cycle simulator.
+
+    Predicts how a sensor would have behaved in the deployment the trace
+    came from (the Fig 15 methodology, sample by sample).
+    """
+    cumulative = trace.cumulative()
+    return duty_cycle_simulator.run_series(cumulative.samples, trace.window_s)

@@ -1,0 +1,92 @@
+"""Front-page models of the ten most popular US websites (§4.1(c)).
+
+The paper loads the Alexa top-10 US front pages of January 2015 with
+PhantomJS. We model each page as a root HTML document plus sub-resources,
+with sizes and object counts drawn from HTTP-archive measurements of that
+era, scaled so a load completes in the paper's PLT range over an ~18 Mb/s
+effective wireless hop.
+
+The absolute sizes matter less than the spread: the paper's Fig 6c shows
+per-site PLTs between roughly 0.7 s (google.com) and 4 s (yahoo.com), and
+the scheme-induced *deltas* (+101 ms PoWiFi, +294 ms NoQueue) are what the
+reproduction must preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.netstack.http import WebObject, WebPage
+
+#: Site order as in Fig 6c.
+TOP_10_US_SITES: Tuple[str, ...] = (
+    "reddit.com",
+    "twitter.com",
+    "yahoo.com",
+    "youtube.com",
+    "wikipedia.org",
+    "linkedin.com",
+    "google.com",
+    "facebook.com",
+    "amazon.com",
+    "ebay.com",
+)
+
+#: Per-site (root_kb, object_count, mean_object_kb, server_latency_ms).
+#: Calibrated so the Baseline scheme lands near the Fig 6c bar heights.
+_SITE_SHAPES: Dict[str, Tuple[float, int, float, float]] = {
+    "reddit.com": (110.0, 24, 38.0, 55.0),
+    "twitter.com": (90.0, 18, 34.0, 50.0),
+    "yahoo.com": (160.0, 40, 42.0, 60.0),
+    "youtube.com": (120.0, 28, 40.0, 55.0),
+    "wikipedia.org": (60.0, 8, 22.0, 40.0),
+    "linkedin.com": (85.0, 14, 30.0, 50.0),
+    "google.com": (45.0, 5, 18.0, 30.0),
+    "facebook.com": (95.0, 12, 28.0, 45.0),
+    "amazon.com": (130.0, 30, 36.0, 55.0),
+    "ebay.com": (115.0, 26, 34.0, 50.0),
+}
+
+
+def page_for_site(site: str, scale: float = 1.0) -> WebPage:
+    """Build the :class:`WebPage` model for ``site``.
+
+    Parameters
+    ----------
+    site:
+        One of :data:`TOP_10_US_SITES`.
+    scale:
+        Uniform size multiplier; benchmarks may scale pages down to bound
+        simulation time while preserving relative ordering.
+    """
+    try:
+        root_kb, count, mean_kb, latency_ms = _SITE_SHAPES[site]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown site {site!r}; choose from {TOP_10_US_SITES}"
+        ) from None
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    objects: List[WebObject] = [
+        WebObject(
+            size_bytes=max(1, int(root_kb * 1024 * scale)),
+            server_latency_s=latency_ms / 1e3,
+        )
+    ]
+    for i in range(count):
+        # Deterministic size spread around the mean: alternating small
+        # assets and larger images, so parallel connections matter.
+        factor = 0.4 if i % 3 == 0 else (1.0 if i % 3 == 1 else 1.6)
+        objects.append(
+            WebObject(
+                size_bytes=max(1, int(mean_kb * 1024 * factor * scale)),
+                server_latency_s=latency_ms / 1e3,
+            )
+        )
+    return WebPage(name=site, objects=objects)
+
+
+def all_pages(scale: float = 1.0) -> List[WebPage]:
+    """The full Fig 6c page set."""
+    return [page_for_site(site, scale) for site in TOP_10_US_SITES]

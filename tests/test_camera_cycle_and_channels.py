@@ -1,0 +1,101 @@
+"""Camera duty-cycle tests plus channel-plan coverage."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvester.harvester import battery_free_camera_harvester
+from repro.mac80211.channels import (
+    CHANNEL_FREQUENCIES_MHZ,
+    POWIFI_CHANNELS,
+    channel_frequency_hz,
+    channels_overlap,
+)
+from repro.rf.link import LinkBudget, Transmitter
+from repro.sensors.duty_cycle import (
+    DutyCycleSimulator,
+    camera_duty_cycle_simulator,
+)
+
+
+@pytest.fixture
+def link():
+    return LinkBudget(Transmitter(tx_power_dbm=30.0))
+
+
+class TestCameraDutyCycle:
+    def test_camera_captures_frames_in_range(self, link):
+        sim = camera_duty_cycle_simulator(
+            battery_free_camera_harvester(), link.received_power_dbm_at_feet(5.0)
+        )
+        result = sim.run_constant(3600.0, 0.909)
+        assert result.count >= 5
+
+    def test_cycle_matches_analytic_inter_frame_time(self, link):
+        """The supercap cycle and the Fig 12 energy budget must agree."""
+        from repro.sensors.camera import WiFiCamera
+
+        sim = camera_duty_cycle_simulator(
+            battery_free_camera_harvester(), link.received_power_dbm_at_feet(5.0)
+        )
+        result = sim.run_constant(3600.0, 0.909)
+        gaps = result.inter_operation_times()
+        measured = sum(gaps) / len(gaps)
+        analytic = WiFiCamera().evaluate_at(link, 5.0).inter_frame_time_s
+        assert 0.5 * analytic < measured < 2.0 * analytic
+
+    def test_no_frames_past_range(self, link):
+        sim = camera_duty_cycle_simulator(
+            battery_free_camera_harvester(), link.received_power_dbm_at_feet(30.0)
+        )
+        assert sim.run_constant(1800.0, 0.909).count == 0
+
+    def test_camera_thresholds(self, link):
+        sim = camera_duty_cycle_simulator(
+            battery_free_camera_harvester(), link.received_power_dbm_at_feet(5.0)
+        )
+        assert sim.boot_voltage_v == pytest.approx(3.1)
+        assert sim.floor_voltage_v == pytest.approx(2.4)
+
+    def test_threshold_validation(self, link):
+        from repro.harvester.harvester import battery_free_harvester
+
+        with pytest.raises(ConfigurationError):
+            DutyCycleSimulator(
+                battery_free_harvester(),
+                -10.0,
+                1e-6,
+                boot_voltage_v=1.0,
+                floor_voltage_v=2.0,
+            )
+
+
+class TestChannelPlan:
+    def test_channel_frequencies(self):
+        assert channel_frequency_hz(1) == pytest.approx(2.412e9)
+        assert channel_frequency_hz(6) == pytest.approx(2.437e9)
+        assert channel_frequency_hz(11) == pytest.approx(2.462e9)
+        assert channel_frequency_hz(14) == pytest.approx(2.484e9)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            channel_frequency_hz(15)
+
+    def test_powifi_channels_pairwise_non_overlapping(self):
+        for a in POWIFI_CHANNELS:
+            for b in POWIFI_CHANNELS:
+                if a != b:
+                    assert not channels_overlap(a, b)
+
+    def test_adjacent_channels_overlap(self):
+        assert channels_overlap(1, 2)
+        assert channels_overlap(6, 8)
+
+    def test_channel_overlaps_itself(self):
+        assert channels_overlap(6, 6)
+
+    def test_channel_14_isolated(self):
+        assert not channels_overlap(14, 11)
+        assert channels_overlap(14, 14)
+
+    def test_all_channels_in_map(self):
+        assert set(range(1, 15)).issubset(CHANNEL_FREQUENCIES_MHZ)

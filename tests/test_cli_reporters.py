@@ -1,0 +1,99 @@
+"""CLI reporter coverage: every figure's renderer produces sane text."""
+
+import pytest
+
+from repro import cli
+from repro.core.config import Scheme
+
+
+class TestReporterFunctions:
+    def test_fig1_reporter(self):
+        from repro.experiments.fig01_leakage import run_fig01
+
+        lines = cli._report_fig1(run_fig01(duration_s=0.02))
+        assert any("peak voltage" in line for line in lines)
+
+    def test_fig5_reporter(self):
+        from repro.experiments.fig05_delay_sweep import run_fig05
+
+        result = run_fig05(thresholds=(5,), delays_us=(100, 400), duration_s=0.3)
+        lines = cli._report_fig5(result)
+        assert len(lines) == 2
+        assert "%" in lines[1]
+
+    def test_fig8_reporter(self):
+        from repro.experiments.fig08_fairness import run_fig08
+
+        result = run_fig08(neighbor_rates=(24.0,), duration_s=0.3)
+        lines = cli._report_fig8(result)
+        assert any("powifi" in line for line in lines)
+
+    def test_fig10_reporter(self):
+        from repro.experiments.fig10_rectifier import run_fig10
+
+        lines = cli._report_fig10(run_fig10(input_powers_dbm=(4,)))
+        assert any("sensitivity" in line for line in lines)
+
+    def test_fig11_reporter(self):
+        from repro.experiments.fig11_temperature import run_fig11
+
+        lines = cli._report_fig11(run_fig11(distances_feet=(10, 20)))
+        assert any("battery-free range" in line for line in lines)
+
+    def test_fig12_reporter(self):
+        from repro.experiments.fig12_camera import run_fig12
+
+        lines = cli._report_fig12(run_fig12(distances_feet=(10, 17)))
+        assert len(lines) == 2
+
+    def test_fig13_reporter(self):
+        from repro.experiments.fig13_walls import run_fig13
+
+        lines = cli._report_fig13(run_fig13())
+        assert any("sheetrock" in line for line in lines)
+
+    def test_fig14_reporter(self):
+        from repro.experiments.fig14_homes import run_fig14
+
+        lines = cli._report_fig14(run_fig14(duration_s=3600.0))
+        assert any("range" in line for line in lines)
+        assert sum("home" in line for line in lines) == 6
+
+    def test_fig15_reporter(self):
+        from repro.experiments.fig14_homes import run_fig14
+        from repro.experiments.fig15_home_sensor import run_fig15
+
+        lines = cli._report_fig15(run_fig15(run_fig14(duration_s=3600.0)))
+        assert len(lines) == 6
+
+    def test_sec8a_reporter(self):
+        from repro.experiments.sec8a_charger import run_sec8a
+
+        lines = cli._report_sec8a(run_sec8a())
+        assert any("mA" in line for line in lines)
+
+    def test_sec8c_reporter(self):
+        from repro.experiments.sec8c_multi_router import run_sec8c
+
+        lines = cli._report_sec8c(run_sec8c(router_counts=(1,), duration_s=0.2))
+        assert any("router" in line for line in lines)
+
+    def test_generic_reporter(self):
+        assert cli._report_generic({"x": 1}) == ["{'x': 1}"]
+
+
+class TestCliEndToEnd:
+    def test_fig10_via_main(self, capsys):
+        assert cli.main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity" in out
+
+    def test_fig12_via_main(self, capsys):
+        assert cli.main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "range" in out
+
+    def test_sec8c_via_main(self, capsys):
+        assert cli.main(["sec8c"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate" in out

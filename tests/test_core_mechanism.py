@@ -1,0 +1,257 @@
+"""PoWiFi core-mechanism tests: IP_Power gate, injector, schemes, router."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_INTER_PACKET_DELAY_S,
+    DEFAULT_QUEUE_THRESHOLD,
+    InjectorConfig,
+    Scheme,
+)
+from repro.core.injector import PowerInjector
+from repro.core.ip_power import IpPowerGate
+from repro.core.router import PoWiFiRouter, RouterConfig
+from repro.core.schemes import scheme_injector_config
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.packets.ipv4 import IpPowerOption, IPv4Packet
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make_station(seed=0):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    medium = Medium(sim, channel=1)
+    station = Station(sim, name="router:ch1", streams=streams)
+    medium.attach(station)
+    return sim, streams, medium, station
+
+
+def data_frame():
+    return FrameJob(mac_bytes=1506, rate_mbps=54.0, kind=FrameKind.DATA)
+
+
+class TestInjectorConfig:
+    def test_paper_defaults(self):
+        config = InjectorConfig()
+        assert config.inter_packet_delay_s == pytest.approx(100e-6)
+        assert config.queue_threshold == 5
+        assert config.rate_mbps == 54.0
+        assert config.ip_datagram_bytes == 1500
+
+    def test_mac_frame_bytes(self):
+        assert InjectorConfig().mac_frame_bytes == 1536
+
+    def test_effective_period_floored_by_syscall(self):
+        config = InjectorConfig(inter_packet_delay_s=1e-6, syscall_overhead_s=20e-6)
+        assert config.effective_period_s == pytest.approx(20e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InjectorConfig(inter_packet_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            InjectorConfig(queue_threshold=0)
+        with pytest.raises(ConfigurationError):
+            InjectorConfig(rate_mbps=14.0)
+        with pytest.raises(ConfigurationError):
+            InjectorConfig(ip_datagram_bytes=10)
+
+
+class TestIpPowerGate:
+    def test_admits_below_threshold(self):
+        sim, streams, medium, station = make_station()
+        gate = IpPowerGate(station, queue_threshold=5)
+        assert gate.admit()
+
+    def test_drops_at_threshold(self):
+        sim, streams, medium, station = make_station()
+        gate = IpPowerGate(station, queue_threshold=2)
+        station.enqueue(data_frame())
+        station.enqueue(data_frame())
+        assert not gate.admit()
+        assert gate.stats.dropped == 1
+
+    def test_none_threshold_always_admits(self):
+        sim, streams, medium, station = make_station()
+        gate = IpPowerGate(station, queue_threshold=None)
+        for _ in range(50):
+            station.enqueue(data_frame())
+        assert gate.admit()
+
+    def test_client_datagrams_never_gated(self):
+        sim, streams, medium, station = make_station()
+        gate = IpPowerGate(station, queue_threshold=1)
+        station.enqueue(data_frame())
+        client_packet = IPv4Packet(src="10.0.0.1", dst="10.0.0.9", payload=b"x")
+        assert gate.check_datagram(client_packet)
+
+    def test_power_datagrams_gated_by_bytes(self):
+        sim, streams, medium, station = make_station()
+        gate = IpPowerGate(station, queue_threshold=1)
+        station.enqueue(data_frame())
+        power_packet = IPv4Packet(
+            src="10.0.0.1",
+            dst="255.255.255.255",
+            power_option=IpPowerOption(interface_id=0),
+        )
+        assert not gate.check_datagram(power_packet)
+
+    def test_drop_fraction(self):
+        sim, streams, medium, station = make_station()
+        gate = IpPowerGate(station, queue_threshold=1)
+        station.enqueue(data_frame())
+        gate.admit()
+        gate.admit()
+        assert gate.stats.drop_fraction == 1.0
+
+    def test_threshold_validation(self):
+        sim, streams, medium, station = make_station()
+        with pytest.raises(ConfigurationError):
+            IpPowerGate(station, queue_threshold=0)
+
+
+class TestPowerInjector:
+    def test_keeps_queue_at_threshold(self):
+        sim, streams, medium, station = make_station()
+        injector = PowerInjector(sim, station, InjectorConfig())
+        injector.start()
+        sim.run(until=0.05)
+        # The gate caps the queue depth at the threshold.
+        assert station.queue.high_watermark <= DEFAULT_QUEUE_THRESHOLD + 1
+
+    def test_sends_continuously(self):
+        sim, streams, medium, station = make_station()
+        injector = PowerInjector(sim, station, InjectorConfig())
+        injector.start()
+        sim.run(until=1.0)
+        # Airtime per frame ~350 us -> about 2850 frames per second.
+        assert 2000 < injector.sent < 3500
+
+    def test_gate_drops_counted(self):
+        sim, streams, medium, station = make_station()
+        injector = PowerInjector(sim, station, InjectorConfig())
+        injector.start()
+        sim.run(until=0.2)
+        # Pacing at 100 us beats the ~350 us service time, so drops happen.
+        assert injector.dropped_by_gate > 0
+
+    def test_stop_halts_injection(self):
+        sim, streams, medium, station = make_station()
+        injector = PowerInjector(sim, station, InjectorConfig())
+        injector.start()
+        sim.run(until=0.1)
+        injector.stop()
+        assert not injector.running
+        sent = injector.sent
+        sim.run(until=0.3)
+        assert injector.sent <= sent + DEFAULT_QUEUE_THRESHOLD  # queue drains
+
+    def test_retune_delay(self):
+        sim, streams, medium, station = make_station()
+        injector = PowerInjector(sim, station, InjectorConfig())
+        injector.set_inter_packet_delay(1e-3)
+        assert injector.config.inter_packet_delay_s == pytest.approx(1e-3)
+        # Other parameters survive the retune.
+        assert injector.config.queue_threshold == DEFAULT_QUEUE_THRESHOLD
+
+
+class TestSchemes:
+    def test_baseline_has_no_injector(self):
+        assert scheme_injector_config(Scheme.BASELINE) is None
+
+    def test_blind_udp_uses_1mbps_no_gate(self):
+        config = scheme_injector_config(Scheme.BLIND_UDP)
+        assert config.rate_mbps == 1.0
+        assert config.queue_threshold is None
+
+    def test_no_queue_uses_54mbps_no_gate(self):
+        config = scheme_injector_config(Scheme.NO_QUEUE)
+        assert config.rate_mbps == 54.0
+        assert config.queue_threshold is None
+
+    def test_powifi_uses_54mbps_with_gate(self):
+        config = scheme_injector_config(Scheme.POWIFI)
+        assert config.rate_mbps == 54.0
+        assert config.queue_threshold == DEFAULT_QUEUE_THRESHOLD
+
+    def test_equal_share_matches_neighbor(self):
+        config = scheme_injector_config(Scheme.EQUAL_SHARE, equal_share_rate_mbps=11.0)
+        assert config.rate_mbps == 11.0
+
+    def test_equal_share_requires_rate(self):
+        with pytest.raises(ConfigurationError):
+            scheme_injector_config(Scheme.EQUAL_SHARE)
+
+
+class TestRouter:
+    def _media(self, sim):
+        return {ch: Medium(sim, channel=ch) for ch in (1, 6, 11)}
+
+    def test_router_builds_per_channel_pieces(self):
+        sim = Simulator()
+        router = PoWiFiRouter(sim, self._media(sim), RandomStreams(0))
+        assert set(router.stations) == {1, 6, 11}
+        assert set(router.injectors) == {1, 6, 11}
+        assert set(router.beacon_sources) == {1, 6, 11}
+
+    def test_baseline_router_has_no_injectors(self):
+        sim = Simulator()
+        router = PoWiFiRouter(
+            sim, self._media(sim), RandomStreams(0), RouterConfig(scheme=Scheme.BASELINE)
+        )
+        assert router.injectors == {}
+
+    def test_client_station_is_channel_1(self):
+        sim = Simulator()
+        router = PoWiFiRouter(sim, self._media(sim), RandomStreams(0))
+        assert router.client_station is router.stations[1]
+
+    def test_cumulative_occupancy_sums_channels(self):
+        sim = Simulator()
+        router = PoWiFiRouter(sim, self._media(sim), RandomStreams(0))
+        router.start()
+        sim.run(until=0.5)
+        per_channel = router.occupancy_by_channel()
+        assert router.cumulative_occupancy() == pytest.approx(sum(per_channel.values()))
+
+    def test_idle_channel_occupancy_near_peak(self):
+        sim = Simulator()
+        router = PoWiFiRouter(sim, self._media(sim), RandomStreams(0))
+        router.start()
+        sim.run(until=1.0)
+        for occupancy in router.occupancy_by_channel().values():
+            assert 0.55 < occupancy < 0.72
+
+    def test_missing_medium_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            PoWiFiRouter(sim, {1: Medium(sim, 1)}, RandomStreams(0))
+
+    def test_client_channel_must_be_served(self):
+        with pytest.raises(ConfigurationError):
+            RouterConfig(channels=(6, 11), client_channel=1)
+
+    def test_occupancy_series_windows(self):
+        sim = Simulator()
+        router = PoWiFiRouter(sim, self._media(sim), RandomStreams(0))
+        router.start()
+        sim.run(until=1.0)
+        series = router.cumulative_occupancy_series(window_s=0.25)
+        assert len(series.samples) == 4
+        assert series.mean == pytest.approx(router.cumulative_occupancy(), rel=0.05)
+
+    def test_stop_router(self):
+        sim = Simulator()
+        router = PoWiFiRouter(sim, self._media(sim), RandomStreams(0))
+        router.start()
+        sim.run(until=0.2)
+        router.stop()
+        sent = sum(i.sent for i in router.injectors.values())
+        sim.run(until=0.5)
+        after = sum(i.sent for i in router.injectors.values())
+        # Queued frames (up to threshold per channel) plus one in flight per
+        # channel still drain after stop; nothing more is generated.
+        assert after <= sent + 3 * (DEFAULT_QUEUE_THRESHOLD + 1)

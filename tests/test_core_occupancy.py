@@ -1,0 +1,173 @@
+"""Occupancy metric tests: the paper's Σ size/rate measurement."""
+
+import pytest
+
+from repro.core.occupancy import (
+    OccupancyAnalyzer,
+    OccupancySeries,
+    cumulative_series,
+    occupancy_from_pcap,
+)
+from repro.errors import ConfigurationError
+from repro.mac80211.capture import MonitorCapture
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def channel_with_station(seed=0):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    medium = Medium(sim, channel=1)
+    station = Station(sim, name="router", streams=streams)
+    medium.attach(station)
+    return sim, streams, medium, station
+
+
+def power_frame(size=1536, rate=54.0):
+    return FrameJob(mac_bytes=size, rate_mbps=rate, kind=FrameKind.POWER, broadcast=True)
+
+
+class TestOccupancySeries:
+    def test_mean(self):
+        series = OccupancySeries(window_s=1.0, samples=[0.2, 0.4, 0.6])
+        assert series.mean == pytest.approx(0.4)
+
+    def test_mean_of_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OccupancySeries(window_s=1.0).mean
+
+    def test_cdf_is_monotone(self):
+        series = OccupancySeries(window_s=1.0, samples=[0.5, 0.1, 0.9, 0.3])
+        cdf = series.cdf()
+        values = [v for v, _ in cdf]
+        fractions = [f for _, f in cdf]
+        assert values == sorted(values)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_percentile(self):
+        series = OccupancySeries(window_s=1.0, samples=[0.0, 1.0])
+        assert series.percentile(50) == pytest.approx(0.5)
+        assert series.percentile(0) == 0.0
+        assert series.percentile(100) == 1.0
+
+    def test_percentile_validation(self):
+        series = OccupancySeries(window_s=1.0, samples=[0.5])
+        with pytest.raises(ConfigurationError):
+            series.percentile(101)
+
+
+class TestCumulativeSeries:
+    def test_sums_aligned_windows(self):
+        a = OccupancySeries(window_s=1.0, samples=[0.3, 0.4])
+        b = OccupancySeries(window_s=1.0, samples=[0.5, 0.5])
+        total = cumulative_series([a, b])
+        assert total.samples == [pytest.approx(0.8), pytest.approx(0.9)]
+
+    def test_truncates_to_shortest(self):
+        a = OccupancySeries(window_s=1.0, samples=[0.3, 0.4, 0.5])
+        b = OccupancySeries(window_s=1.0, samples=[0.5])
+        assert len(cumulative_series([a, b]).samples) == 1
+
+    def test_mismatched_windows_rejected(self):
+        a = OccupancySeries(window_s=1.0, samples=[0.3])
+        b = OccupancySeries(window_s=2.0, samples=[0.5])
+        with pytest.raises(ConfigurationError):
+            cumulative_series([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cumulative_series([])
+
+    def test_can_exceed_one(self):
+        """The paper's cumulative occupancy legitimately exceeds 100 %."""
+        chans = [OccupancySeries(window_s=1.0, samples=[0.6]) for _ in range(3)]
+        assert cumulative_series(chans).samples[0] == pytest.approx(1.8)
+
+
+class TestAnalyzer:
+    def test_counts_payload_airtime(self):
+        sim, streams, medium, station = channel_with_station()
+        analyzer = OccupancyAnalyzer(medium)
+        station.enqueue(power_frame())
+        sim.run(until=0.001)
+        # One 1536-byte frame at 54 Mb/s in 1 ms: 227.6us/1000us = 0.2276.
+        assert analyzer.occupancy(0.0, 0.001) == pytest.approx(0.2276, abs=0.002)
+
+    def test_station_filter_excludes_others(self):
+        sim, streams, medium, station = channel_with_station()
+        other = Station(sim, name="other", streams=streams)
+        medium.attach(other)
+        mine = OccupancyAnalyzer(medium, station_filter="router")
+        station.enqueue(power_frame())
+        other.enqueue(power_frame())
+        sim.run(until=0.01)
+        everyone = 2 * 227.6e-6 / 0.01
+        assert mine.occupancy(0.0, 0.01) == pytest.approx(everyone / 2, rel=0.01)
+
+    def test_frame_count(self):
+        sim, streams, medium, station = channel_with_station()
+        analyzer = OccupancyAnalyzer(medium)
+        for _ in range(7):
+            station.enqueue(power_frame())
+        sim.run()
+        assert analyzer.frame_count == 7
+
+    def test_series_window_count(self):
+        sim, streams, medium, station = channel_with_station()
+        analyzer = OccupancyAnalyzer(medium)
+        for _ in range(10):
+            station.enqueue(power_frame())
+        sim.run(until=1.0)
+        series = analyzer.series(window_s=0.25)
+        assert len(series.samples) == 4
+
+    def test_zero_window_rejected(self):
+        sim, streams, medium, station = channel_with_station()
+        analyzer = OccupancyAnalyzer(medium)
+        sim.run(until=0.1)
+        with pytest.raises(ConfigurationError):
+            analyzer.series(window_s=0.0)
+
+    def test_occupancy_window_validation(self):
+        sim, streams, medium, station = channel_with_station()
+        analyzer = OccupancyAnalyzer(medium)
+        with pytest.raises(ConfigurationError):
+            analyzer.occupancy(1.0, 1.0)
+
+
+class TestPcapPath:
+    def test_pcap_and_live_agree(self):
+        """The two implementations of the metric must match each other."""
+        sim, streams, medium, station = channel_with_station()
+        analyzer = OccupancyAnalyzer(medium, station_filter="router")
+        capture = MonitorCapture(medium, station_filter="router")
+        for _ in range(15):
+            station.enqueue(power_frame())
+        sim.run(until=0.01)
+        capture.close()
+        live = analyzer.occupancy(0.0, 0.01)
+        offline = occupancy_from_pcap(capture.getvalue(), duration_s=0.01)
+        assert offline == pytest.approx(live, rel=0.01)
+
+    def test_mixed_rates_weighted_correctly(self):
+        sim, streams, medium, station = channel_with_station()
+        capture = MonitorCapture(medium)
+        station.enqueue(power_frame(rate=54.0))
+        station.enqueue(power_frame(rate=6.0))
+        sim.run(until=0.01)
+        capture.close()
+        occupancy = occupancy_from_pcap(capture.getvalue(), duration_s=0.01)
+        expected = (1536 * 8 / 54e6 + 1536 * 8 / 6e6) / 0.01
+        assert occupancy == pytest.approx(expected, rel=0.01)
+
+    def test_duration_inference_needs_two_frames(self):
+        sim, streams, medium, station = channel_with_station()
+        capture = MonitorCapture(medium)
+        station.enqueue(power_frame())
+        sim.run()
+        capture.close()
+        with pytest.raises(ConfigurationError):
+            occupancy_from_pcap(capture.getvalue())

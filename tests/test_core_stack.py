@@ -1,0 +1,138 @@
+"""Byte-level kernel-path tests: Power_Socket / Power_MACshim / IP_Power.
+
+These exercise the §3.2 mechanism end to end on real datagram bytes and
+pin its equivalence to the fast descriptor-based injector.
+"""
+
+import pytest
+
+from repro.core.config import InjectorConfig
+from repro.core.injector import PowerInjector
+from repro.core.stack import (
+    ENOBUFS,
+    IpLocalOut,
+    PowerMacShim,
+    PowerSocket,
+    UserSpaceInjector,
+)
+from repro.core.occupancy import OccupancyAnalyzer
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.packets.ipv4 import IPv4Packet
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def build_stack(threshold=5, seed=0):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    medium = Medium(sim, channel=1)
+    station = Station(sim, name="router:ch1", streams=streams)
+    medium.attach(station)
+    shim = PowerMacShim()
+    shim.register(0, station)
+    ip = IpLocalOut(shim, queue_threshold=threshold)
+    socket = PowerSocket(ip, interface_id=0)
+    return sim, medium, station, shim, ip, socket
+
+
+class TestShim:
+    def test_queue_depth_query(self):
+        sim, medium, station, shim, ip, socket = build_stack()
+        assert shim.queue_depth(0) == 0
+        station.enqueue(FrameJob(mac_bytes=100, rate_mbps=54.0, broadcast=True))
+        assert shim.queue_depth(0) >= 1
+
+    def test_duplicate_registration_rejected(self):
+        sim, medium, station, shim, ip, socket = build_stack()
+        with pytest.raises(ConfigurationError):
+            shim.register(0, station)
+
+    def test_unknown_interface_rejected(self):
+        sim, medium, station, shim, ip, socket = build_stack()
+        with pytest.raises(ConfigurationError):
+            shim.queue_depth(9)
+
+
+class TestIpLocalOut:
+    def test_power_datagram_admitted_when_queue_shallow(self):
+        sim, medium, station, shim, ip, socket = build_stack()
+        assert socket.send() == 0
+        assert station.queue_depth == 1
+        assert ip.stats.power_admitted == 1
+
+    def test_power_datagram_gated_at_threshold(self):
+        sim, medium, station, shim, ip, socket = build_stack(threshold=2)
+        assert socket.send() == 0
+        assert socket.send() == 0
+        assert socket.send() == ENOBUFS
+        assert ip.stats.power_dropped == 1
+        assert socket.rejected == 1
+
+    def test_client_datagram_never_gated(self):
+        sim, medium, station, shim, ip, socket = build_stack(threshold=1)
+        socket.send()
+        client = IPv4Packet(src="10.0.0.1", dst="10.0.0.9", payload=b"hi")
+        assert ip.send(client) == 0
+        assert ip.stats.client_datagrams == 1
+
+    def test_no_threshold_never_drops(self):
+        sim, medium, station, shim, ip, socket = build_stack(threshold=None)
+        for _ in range(20):
+            assert socket.send() == 0
+        assert ip.stats.power_dropped == 0
+
+    def test_frame_size_is_full_mpdu(self):
+        sim, medium, station, shim, ip, socket = build_stack()
+        socket.send()
+        frame = station.queue.peek()
+        # 1500-byte IP datagram + 24 MAC + 8 LLC + 4 FCS.
+        assert frame.mac_bytes == 1536
+        assert frame.kind is FrameKind.POWER
+
+    def test_threshold_validation(self):
+        shim = PowerMacShim()
+        with pytest.raises(ConfigurationError):
+            IpLocalOut(shim, queue_threshold=0)
+
+
+class TestUserSpaceInjector:
+    def test_byte_path_transmits_continuously(self):
+        sim, medium, station, shim, ip, socket = build_stack()
+        injector = UserSpaceInjector(sim, socket, InjectorConfig())
+        injector.start()
+        sim.run(until=0.5)
+        assert socket.sent > 1000
+        assert station.frames_sent > 1000
+
+    def test_equivalent_to_descriptor_injector(self):
+        """The byte path and the fast path must produce the same occupancy."""
+        sim_b, medium_b, station_b, shim, ip, socket = build_stack(seed=3)
+        analyzer_b = OccupancyAnalyzer(medium_b, station_filter="router:ch1")
+        UserSpaceInjector(sim_b, socket, InjectorConfig()).start()
+        sim_b.run(until=1.0)
+
+        sim_f = Simulator()
+        streams = RandomStreams(3)
+        medium_f = Medium(sim_f, channel=1)
+        station_f = Station(sim_f, name="router:ch1", streams=streams)
+        medium_f.attach(station_f)
+        analyzer_f = OccupancyAnalyzer(medium_f, station_filter="router:ch1")
+        PowerInjector(sim_f, station_f, InjectorConfig()).start()
+        sim_f.run(until=1.0)
+
+        assert analyzer_b.occupancy() == pytest.approx(
+            analyzer_f.occupancy(), rel=0.02
+        )
+
+    def test_stop(self):
+        sim, medium, station, shim, ip, socket = build_stack()
+        injector = UserSpaceInjector(sim, socket, InjectorConfig())
+        injector.start()
+        sim.run(until=0.1)
+        injector.stop()
+        sent = socket.sent
+        sim.run(until=0.3)
+        assert socket.sent == sent

@@ -1,0 +1,53 @@
+"""Run the library's inline doctest examples.
+
+Every public-facing docstring example in the core modules must stay
+executable — they are the first code a new user copies.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis
+import repro.harvester.diode
+import repro.harvester.rectifier
+import repro.mac80211.airtime
+import repro.mac80211.channels
+import repro.mac80211.ht
+import repro.mac80211.rates
+import repro.packets.bytesutil
+import repro.rf.propagation
+import repro.sim.engine
+import repro.sim.rng
+import repro.units
+import repro.workloads.homes
+
+MODULES = [
+    repro.analysis,
+    repro.harvester.diode,
+    repro.harvester.rectifier,
+    repro.mac80211.airtime,
+    repro.mac80211.channels,
+    repro.mac80211.ht,
+    repro.mac80211.rates,
+    repro.packets.bytesutil,
+    repro.rf.propagation,
+    repro.sim.engine,
+    repro.sim.rng,
+    repro.units,
+    repro.workloads.homes,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_doctests_actually_present():
+    """Guard: the suite must be exercising a real number of examples."""
+    attempted = sum(
+        doctest.testmod(module, verbose=False).attempted for module in MODULES
+    )
+    assert attempted >= 20

@@ -1,0 +1,111 @@
+"""Duty-cycle simulator tests: the charge/boot/operate cycle of §5.1."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvester.harvester import battery_free_harvester
+from repro.harvester.storage import Capacitor
+from repro.rf.link import LinkBudget, Transmitter
+from repro.sensors.duty_cycle import (
+    BOOT_VOLTAGE_V,
+    BROWNOUT_VOLTAGE_V,
+    DutyCycleSimulator,
+)
+from repro.sensors.mcu import TEMPERATURE_READ_ENERGY_J
+
+
+@pytest.fixture
+def link():
+    return LinkBudget(Transmitter(tx_power_dbm=30.0))
+
+
+def simulator_at(link, feet, **kwargs):
+    return DutyCycleSimulator(
+        battery_free_harvester(),
+        link.received_power_dbm_at_feet(feet),
+        TEMPERATURE_READ_ENERGY_J,
+        **kwargs,
+    )
+
+
+class TestDutyCycle:
+    def test_operations_happen_in_range(self, link):
+        result = simulator_at(link, 10.0).run_constant(30.0, 0.95)
+        assert result.count > 10
+
+    def test_no_operations_out_of_range(self, link):
+        result = simulator_at(link, 40.0).run_constant(30.0, 0.95)
+        assert result.count == 0
+
+    def test_rate_decreases_with_distance(self, link):
+        near = simulator_at(link, 5.0).run_constant(20.0, 0.95)
+        far = simulator_at(link, 12.0).run_constant(20.0, 0.95)
+        assert near.mean_rate_hz > far.mean_rate_hz
+
+    def test_matches_analytic_rate_order_of_magnitude(self, link):
+        """The duty-cycle path and the analytic §5.1 energy budget must
+        agree within a small factor (storage and boot overheads differ)."""
+        from repro.sensors.temperature import TemperatureSensor
+
+        result = simulator_at(link, 10.0).run_constant(60.0, 0.913)
+        analytic = TemperatureSensor().evaluate_at(link, 10.0).update_rate_hz
+        assert 0.3 * analytic < result.mean_rate_hz < 3.0 * analytic
+
+    def test_first_boot_takes_cold_start_time(self, link):
+        result = simulator_at(link, 10.0).run_constant(30.0, 0.95)
+        assert result.operations[0].time_s > 1.0  # storage must charge first
+
+    def test_voltage_never_below_brownout_after_operation(self, link):
+        result = simulator_at(link, 8.0).run_constant(20.0, 0.95)
+        for op in result.operations:
+            assert op.storage_voltage_after >= BROWNOUT_VOLTAGE_V - 1e-9
+
+    def test_operations_start_at_boot_voltage(self, link):
+        result = simulator_at(link, 8.0).run_constant(20.0, 0.95)
+        for op in result.operations:
+            assert op.storage_voltage_before >= BOOT_VOLTAGE_V - 1e-9
+
+    def test_zero_occupancy_never_operates(self, link):
+        result = simulator_at(link, 5.0).run_constant(10.0, 0.0)
+        assert result.count == 0
+
+    def test_series_input_tracks_occupancy(self, link):
+        sim = simulator_at(link, 8.0)
+        # First half busy, second half silent.
+        result = sim.run_series([0.95] * 10 + [0.0] * 10, window_s=1.0)
+        first_half = sum(1 for op in result.operations if op.time_s < 10.0)
+        second_half = result.count - first_half
+        assert first_half > second_half
+
+    def test_inter_operation_times(self, link):
+        result = simulator_at(link, 8.0).run_constant(20.0, 0.95)
+        gaps = result.inter_operation_times()
+        assert len(gaps) == result.count - 1
+        assert all(g >= 0 for g in gaps)
+
+    def test_bigger_storage_slower_first_boot(self, link):
+        small = simulator_at(
+            link, 8.0, storage=Capacitor(5e-6, 5e6)
+        ).run_constant(20.0, 0.95)
+        big = simulator_at(
+            link, 8.0, storage=Capacitor(50e-6, 5e6)
+        ).run_constant(20.0, 0.95)
+        assert big.operations[0].time_s > small.operations[0].time_s
+
+    def test_validation(self, link):
+        with pytest.raises(ConfigurationError):
+            simulator_at(link, 10.0, step_s=0.0)
+        sim = simulator_at(link, 10.0)
+        with pytest.raises(ConfigurationError):
+            sim.run_constant(0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            sim.run_constant(1.0, -0.1)
+        with pytest.raises(ConfigurationError):
+            sim.run_series([], window_s=1.0)
+        with pytest.raises(ConfigurationError):
+            DutyCycleSimulator(battery_free_harvester(), -10.0, 0.0)
+
+    def test_empty_result_rate_zero(self):
+        from repro.sensors.duty_cycle import DutyCycleResult
+
+        assert DutyCycleResult().mean_rate_hz == 0.0

@@ -1,0 +1,77 @@
+"""Error-hierarchy and testbed-scaffolding tests."""
+
+import pytest
+
+from repro import errors
+from repro.core.config import Scheme
+from repro.experiments.base import DEFAULT_OFFICE_OCCUPANCY, build_testbed
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        for name in (
+            "ConfigurationError",
+            "SimulationError",
+            "CodecError",
+            "TruncatedFrameError",
+            "ChecksumError",
+            "CircuitError",
+            "MediumError",
+            "QueueFullError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_truncated_is_codec_error(self):
+        assert issubclass(errors.TruncatedFrameError, errors.CodecError)
+
+    def test_checksum_is_codec_error(self):
+        assert issubclass(errors.ChecksumError, errors.CodecError)
+
+    def test_medium_error_is_simulation_error(self):
+        assert issubclass(errors.MediumError, errors.SimulationError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CircuitError("analog trouble")
+
+
+class TestBuildTestbed:
+    def test_default_shape(self):
+        bed = build_testbed(Scheme.POWIFI)
+        assert set(bed.media) == {1, 6, 11}
+        assert bed.client.name == "client"
+        assert bed.office is not None
+
+    def test_office_disabled_with_none(self):
+        bed = build_testbed(Scheme.POWIFI, office_occupancy=None)
+        assert bed.office is None
+
+    def test_office_disabled_with_zero(self):
+        bed = build_testbed(Scheme.POWIFI, office_occupancy=0.0)
+        assert bed.office is None
+
+    def test_single_channel_variant(self):
+        bed = build_testbed(Scheme.BASELINE, channels=(6,))
+        assert set(bed.media) == {6}
+        assert bed.router.client_station is bed.router.stations[6]
+
+    def test_start_brings_everything_up(self):
+        bed = build_testbed(Scheme.POWIFI, seed=2)
+        bed.start()
+        bed.sim.run(until=0.3)
+        assert bed.router.cumulative_occupancy() > 0.5
+        assert any(s.frames_generated > 0 for s in bed.office.sources.values())
+
+    def test_seed_isolation(self):
+        a = build_testbed(Scheme.POWIFI, seed=1)
+        b = build_testbed(Scheme.POWIFI, seed=1)
+        a.start()
+        b.start()
+        a.sim.run(until=0.2)
+        b.sim.run(until=0.2)
+        assert a.router.cumulative_occupancy() == b.router.cumulative_occupancy()
+
+    def test_ambient_default_matches_section_2(self):
+        # §2: "10-40 % range, mostly at the lower end".
+        assert 0.1 <= DEFAULT_OFFICE_OCCUPANCY <= 0.4

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, *args, timeout=240):
+    path = os.path.join(EXAMPLES_DIR, name)
+    return subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "1.0")
+        assert result.returncode == 0, result.stderr
+        assert "cumulative" in result.stdout
+        assert "reads/s" in result.stdout
+
+    def test_packet_injection(self, tmp_path):
+        result = run_example("packet_injection.py", str(tmp_path / "cap.pcap"))
+        assert result.returncode == 0, result.stderr
+        assert "1536 bytes" in result.stdout
+        assert "occupancy from pcap" in result.stdout
+
+    def test_battery_free_camera(self):
+        result = run_example("battery_free_camera.py")
+        assert result.returncode == 0, result.stderr
+        assert "sheetrock" in result.stdout
+
+    def test_neighbor_fairness(self):
+        result = run_example("neighbor_fairness.py")
+        assert result.returncode == 0, result.stderr
+        assert "powifi" in result.stdout
+        assert "blind_udp" in result.stdout
+
+    def test_home_deployment(self):
+        result = run_example("home_deployment.py", "1")
+        assert result.returncode == 0, result.stderr
+        assert "power delivered in every home: yes" in result.stdout
+
+    def test_charging_hotspot(self):
+        result = run_example("charging_hotspot.py")
+        assert result.returncode == 0, result.stderr
+        assert "charged" in result.stdout
+        assert "inter-packet delay" in result.stdout
+
+    def test_pdos_attack(self):
+        result = run_example("pdos_attack.py")
+        assert result.returncode == 0, result.stderr
+        assert "under attack: True" in result.stdout
+
+    def test_deployment_planner(self):
+        result = run_example("deployment_planner.py")
+        assert result.returncode == 0, result.stderr
+        assert "max feasible distance" in result.stdout
+        assert "900 MHz" in result.stdout

@@ -1,0 +1,293 @@
+"""Experiment-driver tests for the network side: Figs 5-8, 14, 15, Table 1,
+§8c. Small configurations of the exact benchmark drivers, asserting the
+paper's qualitative claims."""
+
+import pytest
+
+from repro.core.config import Scheme
+from repro.experiments.fig05_delay_sweep import measure_occupancy, run_fig05
+from repro.experiments.fig06_traffic import (
+    run_fig07,
+    run_plt_for_scheme,
+    run_tcp_for_scheme,
+    run_udp_for_scheme,
+)
+from repro.experiments.fig08_fairness import measure_neighbor_throughput, run_fig08
+from repro.experiments.fig14_homes import run_fig14
+from repro.experiments.fig15_home_sensor import run_fig15
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.table1_homes import run_table1
+from repro.experiments.sec8c_multi_router import run_sec8c
+from repro.errors import ConfigurationError
+
+
+class TestFig05:
+    def test_plateau_near_half_with_office_load(self):
+        """Fig 5: ~50 % single-channel occupancy at the paper's operating
+        point (100 us delay, threshold 5, busy office)."""
+        occupancy = measure_occupancy(100.0, 5, duration_s=2.0)
+        assert occupancy == pytest.approx(0.48, abs=0.07)
+
+    def test_occupancy_flat_below_airtime(self):
+        fast = measure_occupancy(50.0, 5, duration_s=2.0)
+        nominal = measure_occupancy(100.0, 5, duration_s=2.0)
+        assert fast == pytest.approx(nominal, abs=0.03)
+
+    def test_occupancy_decays_at_large_delay(self):
+        nominal = measure_occupancy(100.0, 5, duration_s=2.0)
+        slow = measure_occupancy(1000.0, 5, duration_s=2.0)
+        assert slow < 0.75 * nominal
+
+    def test_threshold_one_loses_occupancy(self):
+        """§3.2(i): thresholds below five drain the queue and lose airtime."""
+        shallow = measure_occupancy(100.0, 1, duration_s=2.0)
+        tuned = measure_occupancy(100.0, 5, duration_s=2.0)
+        assert shallow < tuned
+
+    def test_large_thresholds_equivalent(self):
+        t50 = measure_occupancy(100.0, 50, duration_s=1.0)
+        t100 = measure_occupancy(100.0, 100, duration_s=1.0)
+        assert t50 == pytest.approx(t100, abs=0.04)
+
+    def test_full_sweep_structure(self):
+        result = run_fig05(thresholds=(1, 5), delays_us=(100, 400), duration_s=0.5)
+        assert set(result.curves) == {1, 5}
+        assert len(result.curves[5]) == 2
+        assert result.occupancy_at(5, 100) > 0
+
+
+UDP_KW = dict(rates_mbps=(5, 20, 40), copies=1, run_seconds=1.0, gap_seconds=0.2)
+
+
+class TestFig06a:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            scheme: run_udp_for_scheme(scheme, **UDP_KW)
+            for scheme in (
+                Scheme.BASELINE,
+                Scheme.POWIFI,
+                Scheme.NO_QUEUE,
+                Scheme.BLIND_UDP,
+            )
+        }
+
+    def test_powifi_matches_baseline(self, results):
+        """Fig 6a: 'the client's iperf traffic achieves roughly the same
+        rate as the baseline.'"""
+        for rate in (5, 20):
+            assert results[Scheme.POWIFI].throughput_by_rate[rate] == pytest.approx(
+                results[Scheme.BASELINE].throughput_by_rate[rate], rel=0.1
+            )
+
+    def test_noqueue_roughly_halves(self, results):
+        """Fig 6a: NoQueue 'results in roughly a halving' at saturation."""
+        baseline = results[Scheme.BASELINE].throughput_by_rate[40]
+        noqueue = results[Scheme.NO_QUEUE].throughput_by_rate[40]
+        assert 0.35 * baseline < noqueue < 0.65 * baseline
+
+    def test_blindudp_destroys_throughput(self, results):
+        """Fig 6a: BlindUDP floors client throughput."""
+        for rate in (5, 20, 40):
+            assert results[Scheme.BLIND_UDP].throughput_by_rate[rate] < 2.0
+
+    def test_baseline_tracks_offered_until_saturation(self, results):
+        baseline = results[Scheme.BASELINE].throughput_by_rate
+        assert baseline[5] == pytest.approx(5.0, rel=0.05)
+        assert baseline[20] == pytest.approx(20.0, rel=0.1)
+        assert baseline[40] < 30.0
+
+    def test_powifi_occupancy_stays_high(self, results):
+        """Fig 7a: mean cumulative occupancy near 100 % during UDP runs."""
+        report = results[Scheme.POWIFI].occupancy
+        assert report is not None
+        assert 0.8 < report.mean_cumulative < 2.2
+
+
+class TestFig06b:
+    @pytest.fixture(scope="class")
+    def results(self):
+        kwargs = dict(runs=1, copies=1, run_seconds=1.5)
+        return {
+            scheme: run_tcp_for_scheme(scheme, **kwargs)
+            for scheme in (
+                Scheme.BASELINE,
+                Scheme.POWIFI,
+                Scheme.NO_QUEUE,
+                Scheme.BLIND_UDP,
+            )
+        }
+
+    def test_scheme_ordering(self, results):
+        """Fig 6b's CDF ordering: baseline ~ powifi > noqueue >> blind."""
+        baseline = results[Scheme.BASELINE].median_mbps
+        powifi = results[Scheme.POWIFI].median_mbps
+        noqueue = results[Scheme.NO_QUEUE].median_mbps
+        blind = results[Scheme.BLIND_UDP].median_mbps
+        assert powifi > 0.75 * baseline
+        assert noqueue < 0.8 * baseline
+        assert blind < 0.2 * baseline
+
+    def test_noqueue_roughly_halves(self, results):
+        baseline = results[Scheme.BASELINE].median_mbps
+        noqueue = results[Scheme.NO_QUEUE].median_mbps
+        assert 0.3 * baseline < noqueue < 0.75 * baseline
+
+
+class TestFig06c:
+    @pytest.fixture(scope="class")
+    def results(self):
+        kwargs = dict(sites=("google.com", "yahoo.com"), loads_per_site=1, page_scale=0.3)
+        return {
+            scheme: run_plt_for_scheme(scheme, **kwargs)
+            for scheme in (
+                Scheme.BASELINE,
+                Scheme.POWIFI,
+                Scheme.NO_QUEUE,
+                Scheme.BLIND_UDP,
+            )
+        }
+
+    def test_powifi_adds_small_delay(self, results):
+        """Fig 6c: PoWiFi adds ~100 ms over baseline, NoQueue ~300 ms."""
+        delta = results[Scheme.POWIFI].mean_plt_s - results[Scheme.BASELINE].mean_plt_s
+        assert 0.0 < delta < 0.3
+
+    def test_noqueue_slower_than_powifi(self, results):
+        assert results[Scheme.NO_QUEUE].mean_plt_s > results[Scheme.POWIFI].mean_plt_s
+
+    def test_blindudp_dominates_delay(self, results):
+        assert (
+            results[Scheme.BLIND_UDP].mean_plt_s
+            > 2 * results[Scheme.BASELINE].mean_plt_s
+        )
+
+    def test_heavy_site_slower_than_light(self, results):
+        plt = results[Scheme.BASELINE].plt_by_site
+        assert plt["yahoo.com"] > plt["google.com"]
+
+
+class TestFig07:
+    def test_mean_cumulative_near_paper(self):
+        """Fig 7: mean cumulative occupancy in the ~0.9-1.1 band the paper
+        reports (97.6 / 100.9 / 87.6 %), with margin for the small run."""
+        report = run_fig07(duration_s=3.0)
+        assert 0.75 < report.mean_cumulative < 2.2
+
+    def test_three_channels_reported(self):
+        report = run_fig07(duration_s=2.0)
+        assert set(report.per_channel) == {1, 6, 11}
+
+    def test_cdf_samples_exist(self):
+        report = run_fig07(duration_s=2.0)
+        assert len(report.cumulative.cdf()) >= 3
+
+
+class TestFig08:
+    def test_powifi_beats_equal_share(self):
+        """Fig 8's headline: PoWiFi gives neighbours better than their
+        equal share at sub-54 rates."""
+        for rate in (11.0, 24.0):
+            powifi = measure_neighbor_throughput(Scheme.POWIFI, rate, duration_s=1.0)
+            equal = measure_neighbor_throughput(
+                Scheme.EQUAL_SHARE, rate, duration_s=1.0
+            )
+            assert powifi > equal
+
+    def test_blindudp_crushes_neighbor(self):
+        blind = measure_neighbor_throughput(Scheme.BLIND_UDP, 24.0, duration_s=1.0)
+        powifi = measure_neighbor_throughput(Scheme.POWIFI, 24.0, duration_s=1.0)
+        assert blind < 0.2 * powifi
+
+    def test_degradation_worse_at_high_rates(self):
+        """Fig 8: BlindUDP's damage grows with the neighbour's bit rate."""
+        at_11 = measure_neighbor_throughput(Scheme.BLIND_UDP, 11.0, duration_s=1.0)
+        at_54 = measure_neighbor_throughput(Scheme.BLIND_UDP, 54.0, duration_s=1.0)
+        ideal_11, ideal_54 = 11.0, 54.0
+        assert at_54 / ideal_54 < at_11 / ideal_11 + 0.05
+
+    def test_full_sweep_api(self):
+        result = run_fig08(neighbor_rates=(11.0, 54.0), duration_s=0.5)
+        assert result.powifi_beats_equal_share(11.0)
+
+
+class TestHomes:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_fig14(duration_s=24 * 3600.0)
+
+    def test_table1_matches_paper(self):
+        assert run_table1().matches_paper
+
+    def test_mean_cumulative_range(self, study):
+        """§6: mean cumulative occupancies in the 78-127 % range."""
+        low, high = study.mean_cumulative_range
+        assert 0.70 < low < 1.0
+        assert 1.0 < high < 1.45
+
+    def test_busiest_neighborhood_is_lowest(self, study):
+        """Home 5 has 24 neighbouring APs and the lowest occupancy."""
+        means = {h.profile.index: h.mean_cumulative for h in study.homes}
+        assert means[5] == min(means.values())
+
+    def test_quietest_neighborhood_is_highest(self, study):
+        means = {h.profile.index: h.mean_cumulative for h in study.homes}
+        assert means[2] == max(means.values())
+
+    def test_cumulative_high_throughout(self, study):
+        """§6: 'The cumulative occupancy is high over time in all our home
+        deployments' — even the 10th percentile stays substantial."""
+        for home in study.homes:
+            assert home.cumulative.percentile(10) > 0.35
+
+    def test_occupancy_varies_over_day(self, study):
+        for home in study.homes:
+            assert home.cumulative.percentile(90) - home.cumulative.percentile(10) > 0.1
+
+    def test_fig15_all_homes_deliver_power(self, study):
+        result = run_fig15(study)
+        assert result.all_homes_deliver_power
+
+    def test_fig15_rates_in_paper_axis(self, study):
+        """Fig 15's x-axis spans 0-10 reads/s; medians sit well inside."""
+        result = run_fig15(study)
+        for index in result.samples_by_home:
+            assert 0.1 < result.median(index) < 10.0
+
+    def test_fig15_busy_home_slowest(self, study):
+        result = run_fig15(study)
+        medians = {i: result.median(i) for i in result.samples_by_home}
+        assert medians[5] == min(medians.values())
+
+
+class TestSec8c:
+    def test_occupancy_stays_high_with_more_routers(self):
+        study = run_sec8c(router_counts=(1, 2), duration_s=0.5)
+        assert study.occupancy_stays_high
+
+    def test_collisions_increase_with_router_count(self):
+        study = run_sec8c(router_counts=(1, 3), duration_s=0.5)
+        assert (
+            study.by_count[3].collision_fraction
+            >= study.by_count[1].collision_fraction
+        )
+
+    def test_aggregate_at_least_single_router(self):
+        study = run_sec8c(router_counts=(1, 2), duration_s=0.5)
+        assert study.aggregate_cumulative(2) >= 0.9 * study.aggregate_cumulative(1)
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        for key in ("fig1", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8",
+                    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+                    "fig15", "table1", "sec8a", "sec8c"):
+            assert key in EXPERIMENTS
+
+    def test_resolution(self):
+        driver = get_experiment("table1")
+        assert driver().matches_paper
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")

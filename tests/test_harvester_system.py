@@ -1,0 +1,249 @@
+"""Assembled-harvester, storage, and waveform tests (the §4.2 claims)."""
+
+import math
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.harvester.harvester import (
+    battery_free_camera_harvester,
+    battery_free_harvester,
+    battery_recharging_harvester,
+)
+from repro.harvester.storage import (
+    Capacitor,
+    LiIonCoinCell,
+    NiMHBattery,
+    SuperCapacitor,
+)
+from repro.harvester.waveform import Burst, RectifierWaveformSimulator
+from repro.mac80211.channels import channel_frequency_hz
+
+
+class TestHarvesterSensitivity:
+    def test_battery_free_sensitivity_matches_paper(self):
+        """§4.2(b): battery-free operates down to -17.8 dBm."""
+        sensitivity = battery_free_harvester().sensitivity_dbm()
+        assert sensitivity == pytest.approx(-17.8, abs=0.8)
+
+    def test_battery_recharging_sensitivity_matches_paper(self):
+        """§4.2(b): battery-recharging operates down to -19.3 dBm."""
+        sensitivity = battery_recharging_harvester().sensitivity_dbm()
+        assert sensitivity == pytest.approx(-19.3, abs=0.8)
+
+    def test_battery_version_more_sensitive(self):
+        """No cold start -> ~1.5 dB better sensitivity."""
+        free = battery_free_harvester().sensitivity_dbm()
+        recharging = battery_recharging_harvester().sensitivity_dbm()
+        gap = free - recharging
+        assert 1.0 < gap < 3.0
+
+    def test_camera_harvester_least_sensitive(self):
+        """The standalone bq25570's higher cold start trims the range."""
+        camera = battery_free_camera_harvester().sensitivity_dbm()
+        temp = battery_free_harvester().sensitivity_dbm()
+        assert camera > temp
+
+    def test_sensitivity_uniform_across_channels(self):
+        """§4.2(b): the multi-channel design works on ch 1, 6 and 11 alike."""
+        harvester = battery_free_harvester()
+        values = [
+            harvester.sensitivity_dbm(channel_frequency_hz(ch)) for ch in (1, 6, 11)
+        ]
+        assert max(values) - min(values) < 0.5
+
+
+class TestHarvesterPowerCurve:
+    def test_output_scales_with_input(self):
+        harvester = battery_free_harvester()
+        outputs = [
+            harvester.rectifier_output_power_w(dbm) for dbm in (-15, -10, -5, 0, 4)
+        ]
+        assert outputs == sorted(outputs)
+        assert outputs[0] > 0
+
+    def test_zero_below_sensitivity(self):
+        harvester = battery_free_harvester()
+        assert harvester.rectifier_output_power_w(-25.0) == 0.0
+
+    def test_plus4dbm_output_near_paper(self):
+        """Fig 10: ~150 uW at +4 dBm."""
+        for harvester in (battery_free_harvester(), battery_recharging_harvester()):
+            output = harvester.rectifier_output_power_w(4.0)
+            assert 100e-6 < output < 250e-6
+
+    def test_channels_within_few_percent(self):
+        harvester = battery_free_harvester()
+        outputs = [
+            harvester.rectifier_output_power_w(0.0, channel_frequency_hz(ch))
+            for ch in (1, 6, 11)
+        ]
+        assert max(outputs) / min(outputs) < 1.1
+
+    def test_dc_output_below_rectifier_output(self):
+        harvester = battery_free_harvester()
+        point = harvester.operating_point(-5.0)
+        assert 0 < point.dc_output_w < point.rectifier_output_w
+
+    def test_operating_point_regimes(self):
+        harvester = battery_free_harvester()
+        assert harvester.operating_point(-25.0).regime == "off"
+        assert harvester.operating_point(0.0).regime in ("bulk", "trickle")
+
+    def test_is_operational_consistent_with_sensitivity(self):
+        harvester = battery_free_harvester()
+        sensitivity = harvester.sensitivity_dbm()
+        assert harvester.is_operational(sensitivity + 0.5)
+        assert not harvester.is_operational(sensitivity - 1.0)
+
+    def test_sensitivity_scan_failure_raises(self):
+        harvester = battery_free_harvester()
+        with pytest.raises(CircuitError):
+            harvester.sensitivity_dbm(ceiling_dbm=-25.0)
+
+
+class TestCapacitor:
+    def test_energy_voltage_relation(self):
+        cap = Capacitor(capacitance_f=1e-6, initial_voltage_v=2.0)
+        assert cap.energy_j == pytest.approx(0.5 * 1e-6 * 4.0)
+
+    def test_deposit_withdraw_round_trip(self):
+        cap = Capacitor(capacitance_f=1e-6)
+        cap.deposit(1e-6)
+        assert cap.withdraw(1e-6)
+        assert cap.energy_j == pytest.approx(0.0, abs=1e-12)
+
+    def test_withdraw_beyond_stored_fails(self):
+        cap = Capacitor(capacitance_f=1e-6)
+        cap.deposit(1e-9)
+        assert not cap.withdraw(1e-6)
+        assert cap.energy_j == pytest.approx(1e-9)
+
+    def test_leakage_decays_exponentially(self):
+        cap = Capacitor(capacitance_f=1e-6, leakage_resistance_ohm=1e6, initial_voltage_v=1.0)
+        cap.leak(1.0)  # tau = 1 s
+        assert cap.voltage_v == pytest.approx(math.exp(-1.0))
+
+    def test_infinite_leakage_resistance_holds_charge(self):
+        cap = Capacitor(capacitance_f=1e-6, initial_voltage_v=1.0)
+        cap.leak(100.0)
+        assert cap.voltage_v == 1.0
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            Capacitor(capacitance_f=0.0)
+        cap = Capacitor(capacitance_f=1e-6)
+        with pytest.raises(CircuitError):
+            cap.deposit(-1.0)
+        with pytest.raises(CircuitError):
+            cap.leak(-1.0)
+
+
+class TestSuperCapacitor:
+    def test_paper_values(self):
+        supercap = SuperCapacitor()
+        assert supercap.capacitance_f == pytest.approx(6.8e-3)
+        assert supercap.activate_voltage_v == pytest.approx(3.1)
+        assert supercap.floor_voltage_v == pytest.approx(2.4)
+
+    def test_usable_energy_covers_one_image(self):
+        """§5.2 consistency: the 3.1->2.4 V swing must cover one 10.4 mJ
+        capture with margin."""
+        supercap = SuperCapacitor()
+        assert supercap.usable_energy_j > 10.4e-3
+        assert supercap.usable_energy_j < 3 * 10.4e-3
+
+
+class TestBatteries:
+    def test_nimh_paper_parameters(self):
+        battery = NiMHBattery()
+        assert battery.nominal_voltage_v == pytest.approx(2.4)
+        assert battery.capacity_mah == pytest.approx(750.0)
+
+    def test_liion_paper_parameters(self):
+        battery = LiIonCoinCell()
+        assert battery.nominal_voltage_v == pytest.approx(3.0)
+        assert battery.capacity_mah == pytest.approx(1.0)
+
+    def test_charging_accumulates(self):
+        battery = NiMHBattery()
+        battery.charge_with_power(2.4e-3, 3600.0)  # 1 mA for an hour
+        assert battery.stored_mah == pytest.approx(1.0 * battery.charge_efficiency)
+
+    def test_charge_clamped_at_capacity(self):
+        battery = LiIonCoinCell(stored_mah=1.0)
+        battery.charge_with_power(1.0, 3600.0)
+        assert battery.stored_mah == battery.capacity_mah
+
+    def test_discharge_energy(self):
+        battery = NiMHBattery(stored_mah=100.0)
+        assert battery.discharge_energy(2.77e-6)
+        assert battery.stored_mah < 100.0
+
+    def test_discharge_beyond_capacity_fails(self):
+        battery = LiIonCoinCell(stored_mah=0.0)
+        assert not battery.discharge_energy(1.0)
+
+    def test_self_discharge(self):
+        battery = NiMHBattery(stored_mah=100.0)
+        battery.self_discharge(86400.0 * 30)
+        assert battery.stored_mah < 100.0
+
+    def test_state_of_charge(self):
+        battery = LiIonCoinCell(stored_mah=0.5)
+        assert battery.state_of_charge == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            NiMHBattery(stored_mah=10_000.0)
+        battery = NiMHBattery()
+        with pytest.raises(CircuitError):
+            battery.charge_with_power(-1.0, 1.0)
+        with pytest.raises(CircuitError):
+            battery.discharge_energy(-1.0)
+
+
+class TestWaveform:
+    def _simulator(self, incident_dbm=-12.0):
+        harvester = battery_free_harvester()
+        reservoir = Capacitor(capacitance_f=1e-6, leakage_resistance_ohm=3e5)
+        return RectifierWaveformSimulator(
+            harvester, reservoir, incident_power_dbm=incident_dbm
+        )
+
+    def test_continuous_transmission_charges_up(self):
+        sim = self._simulator()
+        samples = sim.run([Burst(0.0, 0.05)], duration_s=0.05)
+        assert samples[-1].voltage_v > 0.3
+
+    def test_voltage_decays_in_silence(self):
+        sim = self._simulator()
+        samples = sim.run([Burst(0.0, 0.01)], duration_s=0.05)
+        peak = max(s.voltage_v for s in samples)
+        assert samples[-1].voltage_v < peak
+
+    def test_bursty_schedule_stays_below_continuous(self):
+        continuous = self._simulator()
+        steady = continuous.run([Burst(0.0, 0.05)], 0.05)[-1].voltage_v
+        bursty = self._simulator()
+        bursts = [Burst(i * 0.002, 0.0004) for i in range(25)]  # 20 % duty
+        capped = max(s.voltage_v for s in bursty.run(bursts, 0.05))
+        assert capped < steady
+
+    def test_steady_state_below_voc(self):
+        sim = self._simulator()
+        assert 0 < sim.steady_state_voltage <= sim._voc
+
+    def test_negligible_power_stays_microvolt(self):
+        sim = self._simulator(incident_dbm=-60.0)
+        samples = sim.run([Burst(0.0, 0.01)], duration_s=0.01)
+        # At -60 dBm the doubler's soft knee leaves only microvolts —
+        # four orders of magnitude below the 300 mV threshold.
+        assert max(s.voltage_v for s in samples) < 1e-3
+
+    def test_validation(self):
+        sim = self._simulator()
+        with pytest.raises(CircuitError):
+            sim.run([], duration_s=0.0)
+        with pytest.raises(CircuitError):
+            Burst(0.0, -1.0)

@@ -1,0 +1,157 @@
+"""End-to-end integration tests spanning the full stack."""
+
+import pytest
+
+import repro
+from repro.core.config import InjectorConfig, Scheme
+from repro.core.occupancy import occupancy_from_pcap
+from repro.core.router import PoWiFiRouter, RouterConfig
+from repro.core.scheduler import OccupancyCap
+from repro.core.multi_router import MultiRouterDeployment
+from repro.errors import ConfigurationError
+from repro.mac80211.capture import MonitorCapture
+from repro.mac80211.medium import Medium
+from repro.netstack.iperf import IperfUdpClient
+from repro.rf.link import LinkBudget, Transmitter
+from repro.sensors.temperature import TemperatureSensor
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.office import OfficeBackground
+
+
+class TestQuickstart:
+    def test_public_api_quickstart(self):
+        result = repro.quickstart_powifi(duration_s=1.0, seed=3)
+        assert result.cumulative_occupancy > 1.0
+        assert result.power_frames_sent > 1000
+        assert set(result.occupancy_by_channel) == {1, 6, 11}
+
+    def test_deterministic_across_runs(self):
+        a = repro.quickstart_powifi(duration_s=0.5, seed=11)
+        b = repro.quickstart_powifi(duration_s=0.5, seed=11)
+        assert a.cumulative_occupancy == b.cumulative_occupancy
+        assert a.power_frames_sent == b.power_frames_sent
+
+    def test_seed_changes_details(self):
+        a = repro.quickstart_powifi(duration_s=0.5, seed=1)
+        b = repro.quickstart_powifi(duration_s=0.5, seed=2)
+        # Same design, different backoff draws.
+        assert a.cumulative_occupancy == pytest.approx(
+            b.cumulative_occupancy, rel=0.1
+        )
+
+
+class TestFullMeasurementPipeline:
+    def test_router_to_pcap_to_occupancy(self, tmp_path):
+        """Router transmits -> monitor writes real pcap -> analyzer parses
+        it back and agrees with the live analyzer (the §4 pipeline)."""
+        sim = Simulator()
+        streams = RandomStreams(0)
+        medium = Medium(sim, channel=6)
+        router = PoWiFiRouter(
+            sim,
+            {6: medium},
+            streams,
+            RouterConfig(scheme=Scheme.POWIFI, channels=(6,), client_channel=6),
+        )
+        path = str(tmp_path / "ch6.pcap")
+        capture = MonitorCapture(medium, target=path, station_filter="router:ch6")
+        router.start()
+        sim.run(until=0.25)
+        capture.close()
+        offline = occupancy_from_pcap(path, duration_s=0.25)
+        live = router.occupancy_by_channel()[6]
+        assert offline == pytest.approx(live, rel=0.02)
+        assert capture.captured_frames > 100
+
+
+class TestCoexistenceStack:
+    def test_powifi_plus_office_plus_client(self):
+        """All the moving pieces at once, as in every §4.1 run."""
+        sim = Simulator()
+        streams = RandomStreams(5)
+        media = {ch: Medium(sim, channel=ch) for ch in (1, 6, 11)}
+        router = PoWiFiRouter(sim, media, streams)
+        office = OfficeBackground(sim, media, streams)
+        iperf = IperfUdpClient(
+            sim, router.client_station, target_rate_mbps=10.0, copies=1,
+            run_seconds=1.0, gap_seconds=0.2,
+        )
+        router.start()
+        office.start()
+        iperf.start()
+        sim.run(until=1.5)
+        assert iperf.result().mean_throughput_mbps == pytest.approx(10.0, rel=0.1)
+        assert router.cumulative_occupancy() > 0.8
+
+
+class TestOccupancyCap:
+    def test_cap_reduces_cumulative_occupancy(self):
+        """The §4/§6 extension: hold cumulative occupancy at a target."""
+        def run(with_cap):
+            sim = Simulator()
+            streams = RandomStreams(0)
+            media = {ch: Medium(sim, channel=ch) for ch in (1, 6, 11)}
+            router = PoWiFiRouter(sim, media, streams)
+            router.start()
+            if with_cap:
+                cap = OccupancyCap(sim, router, target=0.95, sample_interval_s=0.25)
+                cap.start()
+            sim.run(until=6.0)
+            return router.cumulative_occupancy(start=3.0)
+
+        uncapped = run(False)
+        capped = run(True)
+        assert uncapped > 1.5
+        assert capped < uncapped
+        assert capped == pytest.approx(0.95, abs=0.25)
+
+    def test_cap_requires_injectors(self):
+        sim = Simulator()
+        media = {1: Medium(sim, channel=1)}
+        router = PoWiFiRouter(
+            sim, media, RandomStreams(0),
+            RouterConfig(scheme=Scheme.BASELINE, channels=(1,), client_channel=1),
+        )
+        with pytest.raises(ConfigurationError):
+            OccupancyCap(sim, router)
+
+    def test_cap_history_recorded(self):
+        sim = Simulator()
+        media = {ch: Medium(sim, channel=ch) for ch in (1, 6, 11)}
+        router = PoWiFiRouter(sim, media, RandomStreams(0))
+        cap = OccupancyCap(sim, router, sample_interval_s=0.2)
+        router.start()
+        cap.start()
+        sim.run(until=1.0)
+        assert len(cap.history) >= 4
+
+
+class TestMultiRouter:
+    def test_two_routers_share_and_aggregate(self):
+        sim = Simulator()
+        deployment = MultiRouterDeployment(sim, RandomStreams(0), router_count=2)
+        result = deployment.run(0.5)
+        # Each router individually scales back (carrier sense)...
+        for occupancy in result.per_router_cumulative.values():
+            assert occupancy < 1.8
+        # ...but the harvester-visible aggregate stays high.
+        assert result.aggregate_cumulative > 1.5
+
+    def test_invalid_count(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            MultiRouterDeployment(sim, RandomStreams(0), router_count=0)
+
+
+class TestSensorOnSimulatedRouter:
+    def test_measured_occupancy_drives_sensor(self):
+        """Couple the DCF-simulated occupancy into the harvester chain:
+        the sensor's update rate at 10 ft follows the router's measured
+        cumulative occupancy, like Fig 15 does with the home logs."""
+        result = repro.quickstart_powifi(duration_s=1.0, seed=0)
+        link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+        sensor = TemperatureSensor()
+        rx = link.received_power_dbm_at_feet(10.0)
+        rate = sensor.update_rate_hz(rx, occupancy=result.cumulative_occupancy)
+        assert 0.5 < rate < 20.0

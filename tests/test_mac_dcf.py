@@ -1,0 +1,237 @@
+"""DCF medium/station tests: contention, collisions, retries, fairness."""
+
+import pytest
+
+from repro.errors import MediumError
+from repro.mac80211.airtime import frame_airtime_s
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def make_medium(seed=0, channel=1):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    medium = Medium(sim, channel=channel)
+    return sim, streams, medium
+
+
+def attach_station(sim, streams, medium, name, **kwargs):
+    station = Station(sim, name=name, streams=streams, **kwargs)
+    medium.attach(station)
+    return station
+
+
+def broadcast_frame(size=1536, rate=54.0, on_complete=None):
+    return FrameJob(
+        mac_bytes=size,
+        rate_mbps=rate,
+        kind=FrameKind.POWER,
+        broadcast=True,
+        on_complete=on_complete,
+    )
+
+
+def unicast_frame(size=1536, rate=54.0, on_complete=None):
+    return FrameJob(
+        mac_bytes=size, rate_mbps=rate, broadcast=False, on_complete=on_complete
+    )
+
+
+class TestSingleStation:
+    def test_single_broadcast_completes(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        done = []
+        station.enqueue(broadcast_frame(on_complete=lambda f, ok, t: done.append((ok, t))))
+        sim.run()
+        assert done == [(True, pytest.approx(done[0][1]))]
+        assert station.frames_sent == 1
+
+    def test_transmission_takes_difs_backoff_airtime(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        done = []
+        station.enqueue(broadcast_frame(on_complete=lambda f, ok, t: done.append(t)))
+        sim.run()
+        airtime = frame_airtime_s(1536, 54.0)
+        # DIFS + backoff in [0, 15] slots + airtime.
+        assert airtime + 28e-6 <= done[0] <= airtime + 28e-6 + 15 * 9e-6 + 1e-9
+
+    def test_unicast_gets_ack_exchange(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        b_done, u_done = [], []
+        station.enqueue(broadcast_frame(on_complete=lambda f, ok, t: b_done.append(t)))
+        sim.run()
+        sim2, streams2, medium2 = make_medium()
+        station2 = attach_station(sim2, streams2, medium2, "a")
+        station2.enqueue(unicast_frame(on_complete=lambda f, ok, t: u_done.append(t)))
+        sim2.run()
+        # Same backoff stream => the unicast completion is later by SIFS+ACK.
+        assert u_done[0] > b_done[0]
+
+    def test_back_to_back_frames_serialise(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        times = []
+        for _ in range(5):
+            station.enqueue(broadcast_frame(on_complete=lambda f, ok, t: times.append(t)))
+        sim.run()
+        assert len(times) == 5
+        assert times == sorted(times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g >= frame_airtime_s(1536, 54.0) for g in gaps)
+
+    def test_medium_occupancy_accounting(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        for _ in range(10):
+            station.enqueue(broadcast_frame())
+        sim.run()
+        assert medium.total_busy_time == pytest.approx(
+            10 * frame_airtime_s(1536, 54.0)
+        )
+
+
+class TestContention:
+    def test_two_saturated_stations_share_roughly_equally(self):
+        sim, streams, medium = make_medium(seed=3)
+        a = attach_station(sim, streams, medium, "a")
+        b = attach_station(sim, streams, medium, "b")
+
+        counts = {"a": 0, "b": 0}
+
+        def refill(station, name):
+            def done(frame, ok, t):
+                counts[name] += 1
+                station.enqueue(broadcast_frame(on_complete=done))
+
+            return done
+
+        a.enqueue(broadcast_frame(on_complete=refill(a, "a")))
+        b.enqueue(broadcast_frame(on_complete=refill(b, "b")))
+        sim.run(until=1.0)
+        total = counts["a"] + counts["b"]
+        assert total > 1000
+        assert 0.4 < counts["a"] / total < 0.6
+
+    def test_collisions_happen_and_are_counted(self):
+        sim, streams, medium = make_medium(seed=1)
+        stations = [attach_station(sim, streams, medium, f"s{i}") for i in range(4)]
+
+        def refill(station):
+            def done(frame, ok, t):
+                station.enqueue(broadcast_frame(on_complete=done))
+
+            return done
+
+        for station in stations:
+            station.enqueue(broadcast_frame(on_complete=refill(station)))
+        sim.run(until=0.5)
+        assert medium.collision_count > 0
+
+    def test_collided_broadcast_reported_failed(self):
+        sim, streams, medium = make_medium(seed=1)
+        stations = [attach_station(sim, streams, medium, f"s{i}") for i in range(6)]
+        outcomes = []
+
+        def refill(station):
+            def done(frame, ok, t):
+                outcomes.append(ok)
+                station.enqueue(broadcast_frame(on_complete=done))
+
+            return done
+
+        for station in stations:
+            station.enqueue(broadcast_frame(on_complete=refill(station)))
+        sim.run(until=0.5)
+        assert False in outcomes and True in outcomes
+
+
+class TestRetransmission:
+    def test_lossy_unicast_retries_then_succeeds(self):
+        sim, streams, medium = make_medium(seed=2)
+        station = attach_station(
+            sim, streams, medium, "a", unicast_loss_probability=0.5
+        )
+        outcomes = []
+        for _ in range(50):
+            station.enqueue(unicast_frame(on_complete=lambda f, ok, t: outcomes.append(ok)))
+        sim.run()
+        assert outcomes.count(True) > 40  # retries recover most frames
+
+    def test_always_lossy_unicast_drops_after_retry_limit(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(
+            sim, streams, medium, "a", unicast_loss_probability=1.0
+        )
+        outcomes = []
+        attempts = []
+        frame = unicast_frame(
+            on_complete=lambda f, ok, t: (outcomes.append(ok), attempts.append(f.attempts))
+        )
+        station.enqueue(frame)
+        sim.run()
+        assert outcomes == [False]
+        assert attempts[0] == medium.phy.retry_limit + 1
+        assert station.frames_dropped == 1
+
+    def test_broadcast_never_retries(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(
+            sim, streams, medium, "a", unicast_loss_probability=1.0
+        )
+        done = []
+        station.enqueue(broadcast_frame(on_complete=lambda f, ok, t: done.append(f.attempts)))
+        sim.run()
+        assert done == [1]
+
+
+class TestObservers:
+    def test_observer_sees_every_transmission(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        records = []
+        medium.add_observer(records.append)
+        for _ in range(3):
+            station.enqueue(broadcast_frame())
+        sim.run()
+        assert len(records) == 3
+        assert all(r.channel == 1 for r in records)
+        assert all(r.transmissions[0][0] == "a" for r in records)
+
+    def test_record_durations_positive_and_ordered(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        records = []
+        medium.add_observer(records.append)
+        for _ in range(3):
+            station.enqueue(broadcast_frame())
+        sim.run()
+        for earlier, later in zip(records, records[1:]):
+            assert later.start >= earlier.end
+
+
+class TestWiring:
+    def test_double_attach_rejected(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        with pytest.raises(MediumError):
+            medium.attach(station)
+
+    def test_begin_transmission_without_frames_rejected(self):
+        sim, streams, medium = make_medium()
+        station = attach_station(sim, streams, medium, "a")
+        with pytest.raises(MediumError):
+            station.begin_transmission()
+
+    def test_detached_station_rejects_enqueue_effects(self):
+        sim = Simulator()
+        station = Station(sim, "lonely", RandomStreams(0))
+        # Enqueue works (queueing is independent) but backoff needs a medium.
+        station.enqueue(broadcast_frame())
+        with pytest.raises(MediumError):
+            station.ensure_backoff()

@@ -1,0 +1,140 @@
+"""802.11 rate table and airtime tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac80211.airtime import (
+    ack_airtime_s,
+    effective_throughput_mbps,
+    frame_airtime_s,
+)
+from repro.mac80211.rates import (
+    ALL_80211G_RATES_MBPS,
+    DSSS_RATES_MBPS,
+    ERP_OFDM_RATES_MBPS,
+    HIGHEST_80211G_RATE_MBPS,
+    PHY_80211G,
+    basic_rate_for,
+    is_dsss_rate,
+    is_ofdm_rate,
+    validate_rate,
+)
+
+
+class TestRateTable:
+    def test_twelve_rates_total(self):
+        assert len(ALL_80211G_RATES_MBPS) == 12
+
+    def test_highest_rate_is_54(self):
+        assert HIGHEST_80211G_RATE_MBPS == 54.0
+        assert max(ALL_80211G_RATES_MBPS) == 54.0
+
+    def test_classification_is_partition(self):
+        for rate in ALL_80211G_RATES_MBPS:
+            assert is_ofdm_rate(rate) != is_dsss_rate(rate)
+
+    def test_validate_accepts_legal(self):
+        assert validate_rate(5.5) == 5.5
+
+    def test_validate_rejects_illegal(self):
+        with pytest.raises(ConfigurationError):
+            validate_rate(10.0)
+
+    def test_difs_value(self):
+        # Short-slot 802.11g: DIFS = 10 + 2*9 = 28 us.
+        assert PHY_80211G.difs == pytest.approx(28e-6)
+
+    def test_cw_doubles_per_attempt(self):
+        assert PHY_80211G.cw_for_attempt(0) == 15
+        assert PHY_80211G.cw_for_attempt(1) == 31
+        assert PHY_80211G.cw_for_attempt(3) == 127
+
+    def test_cw_capped_at_max(self):
+        assert PHY_80211G.cw_for_attempt(10) == PHY_80211G.cw_max
+
+    def test_cw_rejects_negative_attempt(self):
+        with pytest.raises(ConfigurationError):
+            PHY_80211G.cw_for_attempt(-1)
+
+
+class TestBasicRates:
+    def test_ofdm_control_response(self):
+        assert basic_rate_for(54.0) == 24.0
+        assert basic_rate_for(18.0) == 12.0
+        assert basic_rate_for(6.0) == 6.0
+
+    def test_dsss_control_response(self):
+        assert basic_rate_for(11.0) == 11.0
+        assert basic_rate_for(2.0) == 2.0
+        assert basic_rate_for(1.0) == 1.0
+
+
+class TestAirtime:
+    def test_power_frame_at_54(self):
+        # 1536-byte MPDU at 54 Mb/s: 20 us preamble + 57 symbols + 6 us ext.
+        assert frame_airtime_s(1536, 54.0) == pytest.approx(254e-6)
+
+    def test_power_frame_at_1(self):
+        # DSSS long preamble (192 us) + 12288 bits at 1 Mb/s.
+        assert frame_airtime_s(1536, 1.0) == pytest.approx(12480e-6)
+
+    def test_blindudp_is_49x_powifi(self):
+        # The whole §3.2(iii) fairness argument: the 1 Mb/s frame occupies
+        # the channel ~49x longer than the 54 Mb/s frame.
+        ratio = frame_airtime_s(1536, 1.0) / frame_airtime_s(1536, 54.0)
+        assert 45 < ratio < 55
+
+    def test_airtime_monotone_in_size(self):
+        assert frame_airtime_s(1536, 54.0) > frame_airtime_s(100, 54.0)
+
+    def test_airtime_monotone_in_rate(self):
+        times = [frame_airtime_s(1536, r) for r in ERP_OFDM_RATES_MBPS]
+        assert times == sorted(times, reverse=True)
+
+    def test_symbol_quantisation(self):
+        # OFDM airtime moves in whole 4 us symbols.
+        t1 = frame_airtime_s(100, 54.0)
+        t2 = frame_airtime_s(101, 54.0)
+        delta = t2 - t1
+        assert delta == pytest.approx(0.0) or delta == pytest.approx(4e-6)
+
+    def test_short_dsss_preamble_above_1mbps(self):
+        long_pre = frame_airtime_s(100, 1.0) - (800 / 1e6)
+        short_pre = frame_airtime_s(100, 2.0) - (800 / 2e6)
+        assert long_pre == pytest.approx(192e-6)
+        assert short_pre == pytest.approx(96e-6)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            frame_airtime_s(0, 54.0)
+
+    def test_rejects_bad_rate(self):
+        # 13 Mb/s is HT MCS1, so it is legal; 14 Mb/s is nobody's rate.
+        with pytest.raises(ConfigurationError):
+            frame_airtime_s(1536, 14.0)
+
+
+class TestAckAirtime:
+    def test_ack_is_short(self):
+        assert ack_airtime_s(54.0) < 50e-6
+
+    def test_ack_slower_for_dsss(self):
+        assert ack_airtime_s(1.0) > ack_airtime_s(54.0)
+
+
+class TestEffectiveThroughput:
+    def test_54mbps_mac_efficiency(self):
+        # Unicast 1460-byte payloads at 54 Mb/s top out near 26-30 Mb/s
+        # after DIFS/backoff/ACK overhead — the classic 802.11g number.
+        throughput = effective_throughput_mbps(1460, 76, 54.0)
+        assert 24.0 < throughput < 32.0
+
+    def test_throughput_increases_with_rate(self):
+        low = effective_throughput_mbps(1460, 76, 6.0)
+        high = effective_throughput_mbps(1460, 76, 54.0)
+        assert high > low
+
+    def test_no_ack_is_faster(self):
+        with_ack = effective_throughput_mbps(1460, 76, 54.0, with_ack=True)
+        without = effective_throughput_mbps(1460, 76, 54.0, with_ack=False)
+        assert without > with_ack

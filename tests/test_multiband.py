@@ -1,0 +1,93 @@
+"""Multi-band harvester tests (§8(e) future-work implementation)."""
+
+import pytest
+
+from repro.errors import CircuitError, ConfigurationError
+from repro.harvester.multiband import (
+    BAND_900_START_HZ,
+    BAND_900_STOP_HZ,
+    BandInput,
+    MultiBandHarvester,
+    band_900_harvester,
+    band_900_matching,
+)
+
+
+class TestBand900Matching:
+    def test_meets_minus_10db_in_band(self):
+        network = band_900_matching()
+        worst = network.worst_return_loss_db(
+            band=(BAND_900_START_HZ, BAND_900_STOP_HZ)
+        )
+        assert worst < -10.0
+
+    def test_badly_matched_at_2_4ghz(self):
+        """The 900 MHz branch must NOT accept 2.4 GHz — that is the
+        diplexer+branch separation working."""
+        network = band_900_matching()
+        assert network.return_loss_db(2.437e9) > -6.0
+
+    def test_branch_harvester_operates(self):
+        harvester = band_900_harvester()
+        assert harvester.is_operational(-10.0, 915e6)
+
+    def test_branch_sensitivity_reasonable(self):
+        sensitivity = band_900_harvester().sensitivity_dbm(915e6)
+        assert -22.0 < sensitivity < -12.0
+
+
+class TestMultiBand:
+    @pytest.fixture
+    def harvester(self):
+        return MultiBandHarvester()
+
+    def test_routing(self, harvester):
+        assert harvester.branch_for(2.437e9) == "2.4GHz"
+        assert harvester.branch_for(915e6) == "900MHz"
+        assert harvester.branch_for(5.8e9) is None
+
+    def test_two_band_harvest_exceeds_single(self, harvester):
+        both = harvester.dc_output_power_w(
+            [BandInput(2.437e9, -10.0), BandInput(915e6, -10.0)]
+        )
+        wifi_only = harvester.dc_output_power_w([BandInput(2.437e9, -10.0)])
+        uhf_only = harvester.dc_output_power_w([BandInput(915e6, -10.0)])
+        assert both == pytest.approx(wifi_only + uhf_only, rel=1e-9)
+        assert both > wifi_only > 0
+        assert uhf_only > 0
+
+    def test_out_of_band_contributes_nothing(self, harvester):
+        with_junk = harvester.dc_output_power_w(
+            [BandInput(2.437e9, -10.0), BandInput(5.8e9, 0.0)]
+        )
+        without = harvester.dc_output_power_w([BandInput(2.437e9, -10.0)])
+        assert with_junk == pytest.approx(without)
+
+    def test_same_band_inputs_accumulate(self, harvester):
+        one = harvester.dc_output_power_w([BandInput(2.412e9, -13.0)])
+        three = harvester.dc_output_power_w(
+            [
+                BandInput(2.412e9, -13.0),
+                BandInput(2.437e9, -13.0),
+                BandInput(2.462e9, -13.0),
+            ]
+        )
+        assert three > one  # the paper's cumulative-occupancy effect
+
+    def test_diplexer_loss_degrades_sensitivity(self, harvester):
+        from repro.harvester.harvester import battery_free_harvester
+
+        bare = battery_free_harvester().sensitivity_dbm(2.437e9)
+        behind_diplexer = harvester.sensitivity_dbm(2.437e9)
+        assert behind_diplexer > bare  # needs a little more incident power
+
+    def test_sensitivity_outside_bands_rejected(self, harvester):
+        with pytest.raises(CircuitError):
+            harvester.sensitivity_dbm(5.8e9)
+
+    def test_empty_branches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiBandHarvester(branches={})
+
+    def test_no_input_no_output(self, harvester):
+        assert harvester.dc_output_power_w([]) == 0.0

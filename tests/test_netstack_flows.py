@@ -1,0 +1,253 @@
+"""Transport-layer flow tests: UDP CBR, TCP Reno, iperf, page loads."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.netstack.http import PageLoadHarness, WebObject, WebPage
+from repro.netstack.iperf import IperfTcpClient, IperfUdpClient
+from repro.netstack.tcp import TcpFlow, TcpParameters
+from repro.netstack.udp import UdpFlow
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def wireless_hop(seed=0):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    medium = Medium(sim, channel=1)
+    ap = Station(sim, name="ap", streams=streams)
+    client = Station(sim, name="client", streams=streams)
+    medium.attach(ap)
+    medium.attach(client)
+    return sim, ap, client
+
+
+class TestUdpFlow:
+    def test_low_rate_fully_delivered(self):
+        sim, ap, client = wireless_hop()
+        flow = UdpFlow(sim, ap, target_rate_mbps=5.0)
+        flow.start()
+        sim.run(until=2.0)
+        assert flow.delivered_mbps(0.0, 2.0) == pytest.approx(5.0, rel=0.05)
+
+    def test_saturation_caps_throughput(self):
+        sim, ap, client = wireless_hop()
+        flow = UdpFlow(sim, ap, target_rate_mbps=50.0)
+        flow.start()
+        sim.run(until=2.0)
+        achieved = flow.delivered_mbps(0.0, 2.0)
+        # 54 Mb/s MAC tops out well below the PHY rate.
+        assert 15.0 < achieved < 32.0
+
+    def test_stop_halts_generation(self):
+        sim, ap, client = wireless_hop()
+        flow = UdpFlow(sim, ap, target_rate_mbps=10.0)
+        flow.start()
+        sim.run(until=0.5)
+        flow.stop()
+        offered = flow.offered
+        sim.run(until=1.0)
+        assert flow.offered == offered
+
+    def test_interval_throughputs_shape(self):
+        sim, ap, client = wireless_hop()
+        flow = UdpFlow(sim, ap, target_rate_mbps=8.0)
+        flow.start()
+        sim.run(until=2.0)
+        intervals = flow.interval_throughputs_mbps(0.0, 2.0, window=0.5)
+        assert len(intervals) == 4
+        assert all(6.0 < x < 10.0 for x in intervals[1:])
+
+    def test_rejects_bad_parameters(self):
+        sim, ap, client = wireless_hop()
+        with pytest.raises(ConfigurationError):
+            UdpFlow(sim, ap, target_rate_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            UdpFlow(sim, ap, target_rate_mbps=1.0, payload_bytes=0)
+
+    def test_window_validation(self):
+        sim, ap, client = wireless_hop()
+        flow = UdpFlow(sim, ap, target_rate_mbps=1.0)
+        with pytest.raises(ConfigurationError):
+            flow.delivered_mbps(1.0, 1.0)
+
+
+class TestTcpFlow:
+    def test_unbounded_flow_reaches_good_throughput(self):
+        sim, ap, client = wireless_hop()
+        flow = TcpFlow(sim, sender=ap, receiver=client)
+        flow.start()
+        sim.run(until=2.0)
+        assert flow.throughput_mbps(0.5, 2.0) > 8.0
+
+    def test_finite_transfer_completes(self):
+        sim, ap, client = wireless_hop()
+        finished = []
+        flow = TcpFlow(
+            sim,
+            sender=ap,
+            receiver=client,
+            total_bytes=200_000,
+            on_finished=lambda f, t: finished.append(t),
+        )
+        flow.start()
+        sim.run(until=5.0)
+        assert flow.finished
+        assert finished and finished[0] == flow.finish_time
+        assert flow.acked_bytes >= 200_000
+
+    def test_slow_start_grows_cwnd(self):
+        sim, ap, client = wireless_hop()
+        flow = TcpFlow(sim, sender=ap, receiver=client)
+        initial = flow.cwnd
+        flow.start()
+        sim.run(until=0.5)
+        assert flow.cwnd > initial
+
+    def test_loss_halves_cwnd(self):
+        sim, ap, client = wireless_hop()
+        flow = TcpFlow(sim, sender=ap, receiver=client)
+        flow.cwnd = 64.0
+        flow.ssthresh = 64.0
+        flow._on_data_complete(
+            _fake_frame(), success=False, time=0.0
+        )
+        assert flow.cwnd == pytest.approx(32.0)
+
+    def test_acks_contend_on_the_air(self):
+        sim, ap, client = wireless_hop()
+        flow = TcpFlow(sim, sender=ap, receiver=client)
+        flow.start()
+        sim.run(until=1.0)
+        # The client station transmitted ACK frames.
+        assert client.frames_sent > 0
+
+    def test_stop_freezes_flow(self):
+        sim, ap, client = wireless_hop()
+        flow = TcpFlow(sim, sender=ap, receiver=client)
+        flow.start()
+        sim.run(until=0.5)
+        flow.stop()
+        acked = flow.acked_segments
+        sim.run(until=1.5)
+        # A few in-flight completions may still land, then it stays flat.
+        assert flow.acked_segments <= acked + int(flow.params.max_cwnd_segments)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TcpParameters(mss_bytes=0)
+        with pytest.raises(ConfigurationError):
+            TcpParameters(ack_every=0)
+
+
+def _fake_frame():
+    from repro.mac80211.frames import FrameJob
+
+    return FrameJob(mac_bytes=1536, rate_mbps=54.0)
+
+
+class TestIperf:
+    def test_udp_campaign_mean(self):
+        sim, ap, client = wireless_hop()
+        iperf = IperfUdpClient(
+            sim, ap, target_rate_mbps=5.0, copies=2, run_seconds=1.0, gap_seconds=0.2
+        )
+        iperf.start()
+        sim.run(until=3.0)
+        result = iperf.result()
+        assert result.mean_throughput_mbps == pytest.approx(5.0, rel=0.1)
+        assert len(result.interval_throughputs_mbps) == 4
+
+    def test_tcp_campaign_produces_intervals(self):
+        sim, ap, client = wireless_hop()
+        iperf = IperfTcpClient(
+            sim, ap, client, copies=2, run_seconds=1.0, gap_seconds=0.2
+        )
+        iperf.start()
+        sim.run(until=3.0)
+        result = iperf.result()
+        assert result.mean_throughput_mbps > 5.0
+
+    def test_result_before_run_rejected(self):
+        sim, ap, client = wireless_hop()
+        iperf = IperfUdpClient(sim, ap, target_rate_mbps=5.0)
+        with pytest.raises(ConfigurationError):
+            iperf.result()
+
+    def test_copies_validation(self):
+        sim, ap, client = wireless_hop()
+        with pytest.raises(ConfigurationError):
+            IperfUdpClient(sim, ap, target_rate_mbps=5.0, copies=0)
+
+
+class TestPageLoad:
+    def _page(self, objects=5, size=30_000):
+        return WebPage(
+            name="test.site",
+            objects=[WebObject(size_bytes=size, server_latency_s=0.02)]
+            + [WebObject(size_bytes=size, server_latency_s=0.02) for _ in range(objects)],
+        )
+
+    def test_single_load_completes(self):
+        sim, ap, client = wireless_hop()
+        harness = PageLoadHarness(sim, ap, client)
+        harness.run_loads(self._page(), 1)
+        sim.run(until=30.0)
+        assert len(harness.load_times) == 1
+        assert harness.load_times[0] > 0
+
+    def test_sequential_loads_pause_between(self):
+        sim, ap, client = wireless_hop()
+        harness = PageLoadHarness(sim, ap, client, pause_between_loads_s=1.0)
+        harness.run_loads(self._page(objects=2), 2)
+        sim.run(until=60.0)
+        assert len(harness.load_times) == 2
+
+    def test_single_object_page(self):
+        sim, ap, client = wireless_hop()
+        harness = PageLoadHarness(sim, ap, client)
+        harness.run_loads(WebPage(name="tiny", objects=[WebObject(10_000)]), 1)
+        sim.run(until=10.0)
+        assert len(harness.load_times) == 1
+
+    def test_overhead_slows_loads(self):
+        fast_sim, fast_ap, fast_client = wireless_hop()
+        fast = PageLoadHarness(fast_sim, fast_ap, fast_client)
+        fast.run_loads(self._page(), 1)
+        fast_sim.run(until=30.0)
+
+        slow_sim, slow_ap, slow_client = wireless_hop()
+        slow = PageLoadHarness(slow_sim, slow_ap, slow_client, per_load_overhead_s=0.1)
+        slow.run_loads(self._page(), 1)
+        slow_sim.run(until=30.0)
+        assert slow.load_times[0] > fast.load_times[0]
+
+    def test_bigger_page_loads_slower(self):
+        sim1, ap1, c1 = wireless_hop()
+        small = PageLoadHarness(sim1, ap1, c1)
+        small.run_loads(self._page(objects=2, size=10_000), 1)
+        sim1.run(until=30.0)
+
+        sim2, ap2, c2 = wireless_hop()
+        large = PageLoadHarness(sim2, ap2, c2)
+        large.run_loads(self._page(objects=20, size=60_000), 1)
+        sim2.run(until=60.0)
+        assert large.load_times[0] > small.load_times[0]
+
+    def test_mean_plt_requires_loads(self):
+        sim, ap, client = wireless_hop()
+        harness = PageLoadHarness(sim, ap, client)
+        with pytest.raises(ConfigurationError):
+            harness.mean_plt
+
+    def test_page_validation(self):
+        with pytest.raises(ConfigurationError):
+            WebPage(name="empty", objects=[])
+        with pytest.raises(ConfigurationError):
+            WebObject(size_bytes=0)
+
+    def test_total_bytes(self):
+        page = self._page(objects=3, size=1000)
+        assert page.total_bytes == 4000

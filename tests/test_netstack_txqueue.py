@@ -1,0 +1,141 @@
+"""Device-queue tests: FIFO, per-class round robin, bounds."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.netstack.txqueue import DeviceQueue, power_vs_client, single_class
+
+
+def power_frame():
+    return FrameJob(mac_bytes=1536, rate_mbps=54.0, kind=FrameKind.POWER, broadcast=True)
+
+
+def client_frame():
+    return FrameJob(mac_bytes=1506, rate_mbps=54.0, kind=FrameKind.DATA)
+
+
+class TestFifoBehaviour:
+    def test_fifo_order(self):
+        queue = DeviceQueue()
+        frames = [client_frame() for _ in range(3)]
+        for frame in frames:
+            queue.push(frame)
+        assert [queue.pop() for _ in range(3)] == frames
+
+    def test_peek_matches_pop(self):
+        queue = DeviceQueue()
+        a, b = client_frame(), client_frame()
+        queue.push(a)
+        queue.push(b)
+        assert queue.peek() is a
+        assert queue.pop() is a
+
+    def test_empty_pop_returns_none(self):
+        queue = DeviceQueue()
+        assert queue.pop() is None
+        assert queue.peek() is None
+
+    def test_depth_tracks_size(self):
+        queue = DeviceQueue()
+        queue.push(client_frame())
+        queue.push(client_frame())
+        assert queue.depth == len(queue) == 2
+        queue.pop()
+        assert queue.depth == 1
+
+    def test_capacity_tail_drop(self):
+        queue = DeviceQueue(capacity=2)
+        assert queue.push(client_frame())
+        assert queue.push(client_frame())
+        assert not queue.push(client_frame())
+        assert queue.total_tail_dropped == 1
+
+    def test_push_front_bypasses_capacity(self):
+        queue = DeviceQueue(capacity=1)
+        first = client_frame()
+        queue.push(first)
+        popped = queue.pop()
+        queue.push(client_frame())
+        queue.push_front(popped)  # retry path must always succeed
+        assert queue.pop() is popped
+
+    def test_clear(self):
+        queue = DeviceQueue()
+        queue.push(client_frame())
+        queue.clear()
+        assert len(queue) == 0
+
+    def test_high_watermark(self):
+        queue = DeviceQueue()
+        for _ in range(5):
+            queue.push(client_frame())
+        for _ in range(5):
+            queue.pop()
+        assert queue.high_watermark == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DeviceQueue(capacity=0)
+
+
+class TestClassedBehaviour:
+    def test_classifier_separates_power_and_client(self):
+        assert power_vs_client(power_frame()) == "power"
+        assert power_vs_client(client_frame()) == "client"
+
+    def test_round_robin_alternates_backlogged_classes(self):
+        queue = DeviceQueue(classifier=power_vs_client)
+        for _ in range(4):
+            queue.push(power_frame())
+        for _ in range(4):
+            queue.push(client_frame())
+        kinds = [queue.pop().kind for _ in range(8)]
+        power_positions = [i for i, k in enumerate(kinds) if k is FrameKind.POWER]
+        client_positions = [i for i, k in enumerate(kinds) if k is FrameKind.DATA]
+        # Strict alternation: positions interleave.
+        assert all(abs(p - c) == 1 for p, c in zip(power_positions, client_positions))
+
+    def test_single_backlogged_class_served_exclusively(self):
+        queue = DeviceQueue(classifier=power_vs_client)
+        for _ in range(3):
+            queue.push(power_frame())
+        kinds = {queue.pop().kind for _ in range(3)}
+        assert kinds == {FrameKind.POWER}
+
+    def test_per_class_capacity(self):
+        queue = DeviceQueue(capacity=2, classifier=power_vs_client)
+        assert queue.push(power_frame())
+        assert queue.push(power_frame())
+        assert not queue.push(power_frame())  # power class full
+        assert queue.push(client_frame())  # client class unaffected
+
+    def test_depth_of_class(self):
+        queue = DeviceQueue(classifier=power_vs_client)
+        queue.push(power_frame())
+        queue.push(power_frame())
+        queue.push(client_frame())
+        assert queue.depth_of("power") == 2
+        assert queue.depth_of("client") == 1
+        assert queue.depth_of("missing") == 0
+
+    def test_total_depth_spans_classes(self):
+        queue = DeviceQueue(classifier=power_vs_client)
+        queue.push(power_frame())
+        queue.push(client_frame())
+        assert queue.depth == 2
+
+    def test_iteration_covers_all_classes(self):
+        queue = DeviceQueue(classifier=power_vs_client)
+        queue.push(power_frame())
+        queue.push(client_frame())
+        assert len(list(queue)) == 2
+
+    def test_class_names(self):
+        queue = DeviceQueue(classifier=power_vs_client)
+        queue.push(power_frame())
+        queue.push(client_frame())
+        assert set(queue.class_names) == {"power", "client"}
+
+    def test_default_classifier_single_class(self):
+        assert single_class(power_frame()) == single_class(client_frame())

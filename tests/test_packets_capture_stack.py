@@ -1,0 +1,182 @@
+"""Radiotap, pcap, and power-frame builder tests — the capture pipeline."""
+
+import io
+
+import pytest
+
+from repro.errors import CodecError, TruncatedFrameError
+from repro.packets.builder import (
+    DEFAULT_IP_DATAGRAM_BYTES,
+    PowerPacketBuilder,
+    build_power_frame,
+)
+from repro.packets.dot11 import Dot11Data, MacAddress
+from repro.packets.ipv4 import IPv4Packet
+from repro.packets.llc import LlcSnapHeader
+from repro.packets.pcap import (
+    LINKTYPE_IEEE802_11_RADIOTAP,
+    PcapReader,
+    PcapWriter,
+)
+from repro.packets.radiotap import FLAG_FCS_AT_END, RadiotapHeader
+from repro.packets.udp import UdpDatagram
+
+
+class TestRadiotap:
+    def test_round_trip(self):
+        header = RadiotapHeader(tsft_us=123456, rate_mbps=54.0, channel_mhz=2437)
+        decoded, rest = RadiotapHeader.decode(header.encode() + b"frame")
+        assert decoded.tsft_us == 123456
+        assert decoded.rate_mbps == 54.0
+        assert decoded.channel_mhz == 2437
+        assert rest == b"frame"
+
+    def test_half_mbps_rates(self):
+        header = RadiotapHeader(rate_mbps=5.5)
+        decoded, _ = RadiotapHeader.decode(header.encode())
+        assert decoded.rate_mbps == 5.5
+
+    def test_fcs_flag(self):
+        assert RadiotapHeader().has_fcs
+        no_fcs = RadiotapHeader(flags=0)
+        decoded, _ = RadiotapHeader.decode(no_fcs.encode())
+        assert not decoded.has_fcs
+
+    def test_alignment_of_tsft(self):
+        # TSFT is 8-byte aligned: header starts with 8 bytes of preamble,
+        # so no pad bytes needed, total length is deterministic.
+        raw = RadiotapHeader().encode()
+        declared = int.from_bytes(raw[2:4], "little")
+        assert declared == len(raw)
+
+    def test_unknown_present_bits_rejected(self):
+        raw = bytearray(RadiotapHeader().encode())
+        raw[4] |= 0x20  # claim an extra field we do not emit
+        with pytest.raises(CodecError):
+            RadiotapHeader.decode(bytes(raw))
+
+    def test_bad_version_rejected(self):
+        raw = bytearray(RadiotapHeader().encode())
+        raw[0] = 1
+        with pytest.raises(CodecError):
+            RadiotapHeader.decode(bytes(raw))
+
+    def test_unencodable_rate_rejected(self):
+        with pytest.raises(CodecError):
+            RadiotapHeader(rate_mbps=1000.0).encode()
+
+
+class TestPcap:
+    def test_write_read_round_trip(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(1.5, b"first")
+        writer.write(2.25, b"second")
+        writer.close()
+        records = PcapReader(buffer.getvalue()).read_all()
+        assert [r.data for r in records] == [b"first", b"second"]
+        assert records[0].timestamp == pytest.approx(1.5, abs=1e-6)
+        assert records[1].timestamp == pytest.approx(2.25, abs=1e-6)
+
+    def test_linktype_preserved(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer, linktype=LINKTYPE_IEEE802_11_RADIOTAP).close()
+        reader = PcapReader(buffer.getvalue())
+        assert reader.linktype == LINKTYPE_IEEE802_11_RADIOTAP
+
+    def test_snaplen_truncates(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=4)
+        writer.write(0.0, b"longpayload")
+        writer.close()
+        (record,) = PcapReader(buffer.getvalue()).read_all()
+        assert record.data == b"long"
+        assert record.truncated
+        assert record.original_length == len(b"longpayload")
+
+    def test_packet_count(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for i in range(5):
+            writer.write(float(i), b"x")
+        assert writer.packet_count == 5
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError):
+            PcapReader(b"\x00" * 24)
+
+    def test_truncated_global_header_rejected(self):
+        with pytest.raises(TruncatedFrameError):
+            PcapReader(b"\x00" * 10)
+
+    def test_truncated_record_rejected(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(0.0, b"data")
+        raw = buffer.getvalue()[:-2]  # cut the record body
+        reader = PcapReader(raw)
+        with pytest.raises(TruncatedFrameError):
+            list(reader)
+
+    def test_negative_timestamp_rejected(self):
+        writer = PcapWriter(io.BytesIO())
+        with pytest.raises(CodecError):
+            writer.write(-1.0, b"x")
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "capture.pcap")
+        with PcapWriter(path) as writer:
+            writer.write(1.0, b"on-disk")
+        with PcapReader(path) as reader:
+            (record,) = reader.read_all()
+        assert record.data == b"on-disk"
+
+    def test_microsecond_rollover(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(0.9999996, b"x")  # rounds to 1.0 s exactly
+        writer.close()
+        (record,) = PcapReader(buffer.getvalue()).read_all()
+        assert record.timestamp == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPowerPacketBuilder:
+    def test_default_frame_size(self):
+        frame = build_power_frame()
+        # 24 MAC + 8 LLC + 1500 IP + 4 FCS.
+        assert len(frame) == 1536
+
+    def test_full_stack_parses(self):
+        frame = Dot11Data.decode(build_power_frame(interface_id=2))
+        assert frame.header.addr1.is_broadcast
+        llc, ip_bytes = LlcSnapHeader.decode(frame.payload)
+        packet = IPv4Packet.decode(ip_bytes)
+        assert packet.is_power_packet
+        assert packet.power_option.interface_id == 2
+        assert packet.dst == "255.255.255.255"
+        udp = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
+        assert udp.dst_port == 47000
+
+    def test_ip_datagram_is_exactly_1500(self):
+        builder = PowerPacketBuilder(interface_id=0)
+        assert len(builder.build_ip_datagram().encode()) == DEFAULT_IP_DATAGRAM_BYTES
+
+    def test_sequence_increments(self):
+        builder = PowerPacketBuilder(interface_id=0)
+        first = builder.build_ip_datagram()
+        second = builder.build_ip_datagram()
+        assert second.identification == first.identification + 1
+
+    def test_mac_frame_bytes_matches_encoding(self):
+        builder = PowerPacketBuilder(interface_id=1)
+        assert builder.mac_frame_bytes == len(builder.build_frame().encode())
+
+    def test_too_small_datagram_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PowerPacketBuilder(interface_id=0, ip_datagram_bytes=10)
+
+    def test_custom_size(self):
+        frame = build_power_frame(ip_datagram_bytes=500)
+        assert len(frame) == 24 + 8 + 500 + 4

@@ -1,0 +1,90 @@
+"""Control-frame codec tests (ACK/RTS/CTS) and beacon-capture fidelity."""
+
+import pytest
+
+from repro.errors import ChecksumError, CodecError, TruncatedFrameError
+from repro.mac80211.beacon import BEACON_FRAME_BYTES, BeaconSource
+from repro.mac80211.capture import MonitorCapture
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.packets.control import AckFrame, CtsFrame, RtsFrame
+from repro.packets.dot11 import Dot11Beacon, MacAddress
+from repro.packets.pcap import PcapReader
+from repro.packets.radiotap import RadiotapHeader
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+RA = MacAddress.from_string("02:00:00:00:00:aa")
+TA = MacAddress.from_string("02:00:00:00:00:bb")
+
+
+class TestAck:
+    def test_round_trip(self):
+        frame = AckFrame(receiver=RA, duration_us=44)
+        decoded = AckFrame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_length_is_14(self):
+        assert len(AckFrame(receiver=RA).encode()) == AckFrame.LENGTH == 14
+
+    def test_fcs_corruption(self):
+        raw = bytearray(AckFrame(receiver=RA).encode())
+        raw[4] ^= 0x01
+        with pytest.raises(ChecksumError):
+            AckFrame.decode(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedFrameError):
+            AckFrame.decode(b"\x00" * 5)
+
+    def test_wrong_subtype_rejected(self):
+        cts = CtsFrame(receiver=RA).encode()
+        with pytest.raises(CodecError):
+            AckFrame.decode(cts)
+
+
+class TestRtsCts:
+    def test_rts_round_trip(self):
+        frame = RtsFrame(receiver=RA, transmitter=TA, duration_us=300)
+        decoded = RtsFrame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_rts_length_is_20(self):
+        assert len(RtsFrame(receiver=RA, transmitter=TA).encode()) == 20
+
+    def test_cts_round_trip(self):
+        frame = CtsFrame(receiver=RA, duration_us=250)
+        assert CtsFrame.decode(frame.encode()) == frame
+
+    def test_cts_rejects_ack_bytes(self):
+        with pytest.raises(CodecError):
+            CtsFrame.decode(AckFrame(receiver=RA).encode())
+
+    def test_rts_fcs_corruption(self):
+        raw = bytearray(RtsFrame(receiver=RA, transmitter=TA).encode())
+        raw[8] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            RtsFrame.decode(bytes(raw))
+
+
+class TestBeaconCapture:
+    def test_captured_beacons_are_real_beacons(self):
+        """Beacon descriptors must materialise as decodable beacon frames
+        of exactly the descriptor's on-air size."""
+        sim = Simulator()
+        streams = RandomStreams(0)
+        medium = Medium(sim, channel=1)
+        station = Station(sim, name="ap", streams=streams)
+        medium.attach(station)
+        capture = MonitorCapture(medium)
+        source = BeaconSource(sim, station)
+        source.start()
+        sim.run(until=0.3)
+        capture.close()
+        records = PcapReader(capture.getvalue()).read_all()
+        assert records
+        for record in records:
+            _header, frame_bytes = RadiotapHeader.decode(record.data)
+            assert len(frame_bytes) == BEACON_FRAME_BYTES
+            beacon = Dot11Beacon.decode(frame_bytes)
+            assert beacon.ssid == "powifi"

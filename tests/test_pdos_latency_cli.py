@@ -1,0 +1,210 @@
+"""Tests for the §8(d) PDoS extension, the latency tracker, and the CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import Scheme
+from repro.core.pdos import PdosAttacker, PdosWatchdog
+from repro.core.router import PoWiFiRouter, RouterConfig
+from repro.errors import ConfigurationError
+from repro.mac80211.frames import FrameJob
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.netstack.latency import LatencyTracker
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def one_channel_router(seed=0):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    medium = Medium(sim, channel=1)
+    router = PoWiFiRouter(
+        sim,
+        {1: medium},
+        streams,
+        RouterConfig(scheme=Scheme.POWIFI, channels=(1,), client_channel=1),
+    )
+    return sim, streams, medium, router
+
+
+class TestPdosAttack:
+    def test_attack_starves_power_delivery(self):
+        """§8(d): carrier-sense events from a rogue device cause power
+        starvation."""
+        sim, streams, medium, router = one_channel_router()
+        router.start()
+        sim.run(until=1.0)
+        before = router.analyzers[1].occupancy(0.0, 1.0)
+        attacker = PdosAttacker(sim, medium, streams)
+        attacker.start()
+        sim.run(until=3.0)
+        during = router.analyzers[1].occupancy(2.0, 3.0)
+        assert before > 0.5
+        assert during < 0.2 * before
+
+    def test_partial_duty_attack_partially_starves(self):
+        sim, streams, medium, router = one_channel_router()
+        attacker = PdosAttacker(sim, medium, streams, duty=0.3)
+        router.start()
+        attacker.start()
+        sim.run(until=2.0)
+        occupancy = router.analyzers[1].occupancy(1.0, 2.0)
+        assert 0.05 < occupancy < 0.6
+
+    def test_attacker_stop(self):
+        sim, streams, medium, router = one_channel_router()
+        attacker = PdosAttacker(sim, medium, streams)
+        router.start()
+        attacker.start()
+        sim.run(until=1.0)
+        attacker.stop()
+        sim.run(until=3.0)
+        # Power delivery recovers once the attack ceases.
+        assert router.analyzers[1].occupancy(2.0, 3.0) > 0.4
+
+    def test_duty_validation(self):
+        sim, streams, medium, router = one_channel_router()
+        with pytest.raises(ConfigurationError):
+            PdosAttacker(sim, medium, streams, duty=0.0)
+
+
+class TestPdosWatchdog:
+    def test_no_alerts_without_attack(self):
+        sim, streams, medium, router = one_channel_router()
+        watchdog = PdosWatchdog(sim, medium, router.analyzers[1].occupancy)
+        router.start()
+        watchdog.start()
+        sim.run(until=4.0)
+        assert watchdog.alerts == []
+        assert not watchdog.under_attack
+
+    def test_alerts_fire_under_attack(self):
+        sim, streams, medium, router = one_channel_router()
+        watchdog = PdosWatchdog(
+            sim, medium, router.analyzers[1].occupancy, window_s=0.5
+        )
+        router.start()
+        watchdog.start()
+        sim.run(until=1.0)
+        attacker = PdosAttacker(sim, medium, streams)
+        attacker.start()
+        sim.run(until=4.0)
+        assert watchdog.under_attack
+        assert len(watchdog.alerts) >= 1
+        alert = watchdog.alerts[0]
+        assert alert.medium_busy_fraction > 0.5
+        assert alert.power_occupancy < 0.2
+
+    def test_no_alert_when_merely_idle(self):
+        """An idle medium must not look like an attack."""
+        sim = Simulator()
+        streams = RandomStreams(0)
+        medium = Medium(sim, channel=1)
+        router = PoWiFiRouter(
+            sim, {1: medium}, streams,
+            RouterConfig(scheme=Scheme.BASELINE, channels=(1,), client_channel=1),
+        )
+        watchdog = PdosWatchdog(sim, medium, router.analyzers[1].occupancy)
+        router.start()
+        watchdog.start()
+        sim.run(until=4.0)
+        assert watchdog.alerts == []
+
+    def test_validation(self):
+        sim, streams, medium, router = one_channel_router()
+        with pytest.raises(ConfigurationError):
+            PdosWatchdog(sim, medium, router.analyzers[1].occupancy, window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PdosWatchdog(
+                sim, medium, router.analyzers[1].occupancy, share_threshold=1.5
+            )
+
+
+class TestLatencyTracker:
+    def _hop(self):
+        sim = Simulator()
+        streams = RandomStreams(0)
+        medium = Medium(sim, channel=1)
+        station = Station(sim, name="ap", streams=streams)
+        medium.attach(station)
+        return sim, station
+
+    def test_records_per_frame_latency(self):
+        sim, station = self._hop()
+        tracker = LatencyTracker()
+        for _ in range(5):
+            frame = FrameJob(mac_bytes=1536, rate_mbps=54.0, broadcast=True)
+            station.enqueue(tracker.instrument(frame))
+        sim.run()
+        assert tracker.count == 5
+        assert all(s.latency_s > 200e-6 for s in tracker.samples)
+
+    def test_queueing_increases_latency(self):
+        sim, station = self._hop()
+        tracker = LatencyTracker()
+        for _ in range(10):
+            station.enqueue(
+                tracker.instrument(FrameJob(mac_bytes=1536, rate_mbps=54.0, broadcast=True))
+            )
+        sim.run()
+        latencies = tracker.latencies_s()
+        # Later frames waited behind earlier ones.
+        assert latencies[-1] > latencies[0]
+
+    def test_chains_existing_callback(self):
+        sim, station = self._hop()
+        tracker = LatencyTracker()
+        seen = []
+        frame = FrameJob(
+            mac_bytes=500,
+            rate_mbps=54.0,
+            broadcast=True,
+            on_complete=lambda f, ok, t: seen.append(ok),
+        )
+        station.enqueue(tracker.instrument(frame))
+        sim.run()
+        assert seen == [True]
+        assert tracker.count == 1
+
+    def test_statistics(self):
+        sim, station = self._hop()
+        tracker = LatencyTracker()
+        for _ in range(20):
+            station.enqueue(
+                tracker.instrument(FrameJob(mac_bytes=1536, rate_mbps=54.0, broadcast=True))
+            )
+        sim.run()
+        assert tracker.percentile_s(0) <= tracker.mean_latency_s() <= tracker.percentile_s(100)
+
+    def test_empty_statistics_rejected(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.mean_latency_s()
+        with pytest.raises(ConfigurationError):
+            tracker.percentile_s(50)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table1" in out
+
+    def test_quickstart(self, capsys):
+        assert cli_main(["quickstart", "--duration", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+
+    def test_table1(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "matches paper: True" in out
+
+    def test_fig9(self, capsys):
+        assert cli_main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "battery-free" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["fig99"]) == 2

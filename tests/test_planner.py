@@ -1,0 +1,116 @@
+"""Deployment-planner tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvester.harvester import battery_recharging_harvester
+from repro.planner import (
+    DeploymentPlanner,
+    Environment,
+    PlacementVerdict,
+    SensingRequirement,
+)
+from repro.rf.materials import WALL_MATERIALS
+from repro.sensors.mcu import TEMPERATURE_READ_ENERGY_J
+
+TEMP_1HZ = SensingRequirement(
+    operation_energy_j=TEMPERATURE_READ_ENERGY_J, target_rate_hz=1.0
+)
+
+
+class TestSensingRequirement:
+    def test_required_power(self):
+        assert TEMP_1HZ.required_power_w == pytest.approx(2.77e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SensingRequirement(operation_energy_j=0.0, target_rate_hz=1.0)
+        with pytest.raises(ConfigurationError):
+            SensingRequirement(operation_energy_j=1e-6, target_rate_hz=0.0)
+
+
+class TestEnvironment:
+    def test_defaults(self):
+        env = Environment()
+        assert env.cumulative_occupancy == 1.0
+        assert env.wall is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Environment(path_loss_exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            Environment(cumulative_occupancy=-0.1)
+
+
+class TestPlanner:
+    def test_close_placement_feasible(self):
+        planner = DeploymentPlanner()
+        verdict = planner.evaluate(TEMP_1HZ, 8.0)
+        assert verdict.feasible
+        assert verdict.achievable_rate_hz > 1.0
+        assert verdict.margin_db > 0
+
+    def test_far_placement_infeasible(self):
+        planner = DeploymentPlanner()
+        verdict = planner.evaluate(TEMP_1HZ, 30.0)
+        assert not verdict.feasible
+        assert verdict.achievable_rate_hz < 1.0
+
+    def test_max_distance_between_bounds(self):
+        planner = DeploymentPlanner()
+        max_feet = planner.max_distance_feet(TEMP_1HZ)
+        assert 8.0 < max_feet < 22.0
+        # Consistency with evaluate().
+        assert planner.evaluate(TEMP_1HZ, max_feet).feasible
+        assert not planner.evaluate(TEMP_1HZ, max_feet + 1.0).feasible
+
+    def test_wall_shrinks_max_distance(self):
+        bare = DeploymentPlanner()
+        walled = DeploymentPlanner(
+            Environment(wall=WALL_MATERIALS["sheetrock"])
+        )
+        assert walled.max_distance_feet(TEMP_1HZ) < bare.max_distance_feet(TEMP_1HZ)
+
+    def test_occupancy_extends_reach(self):
+        quiet = DeploymentPlanner(Environment(cumulative_occupancy=0.5))
+        loud = DeploymentPlanner(Environment(cumulative_occupancy=1.9))
+        assert loud.max_distance_feet(TEMP_1HZ) > quiet.max_distance_feet(TEMP_1HZ)
+
+    def test_battery_harvester_reaches_farther(self):
+        free = DeploymentPlanner()
+        recharging = DeploymentPlanner(harvester=battery_recharging_harvester())
+        # At a low-rate requirement the battery build's sensitivity wins.
+        slow = SensingRequirement(TEMPERATURE_READ_ENERGY_J, target_rate_hz=0.05)
+        assert recharging.max_distance_feet(slow) > free.max_distance_feet(slow)
+
+    def test_required_occupancy_monotone_in_distance(self):
+        planner = DeploymentPlanner()
+        near = planner.required_occupancy(TEMP_1HZ, 6.0)
+        far = planner.required_occupancy(TEMP_1HZ, 12.0)
+        assert near is not None and far is not None
+        assert far > near
+
+    def test_required_occupancy_none_when_hopeless(self):
+        planner = DeploymentPlanner()
+        assert planner.required_occupancy(TEMP_1HZ, 45.0) is None
+
+    def test_required_occupancy_self_consistent(self):
+        planner = DeploymentPlanner()
+        occupancy = planner.required_occupancy(TEMP_1HZ, 10.0)
+        check = DeploymentPlanner(Environment(cumulative_occupancy=occupancy))
+        assert check.evaluate(TEMP_1HZ, 10.0).feasible
+
+    def test_survey_table(self):
+        planner = DeploymentPlanner()
+        verdicts = planner.survey(TEMP_1HZ, [5.0, 10.0, 20.0, 30.0])
+        assert len(verdicts) == 4
+        feasible_flags = [v.feasible for v in verdicts]
+        # Once infeasible, farther spots stay infeasible.
+        assert feasible_flags == sorted(feasible_flags, reverse=True)
+
+    def test_validation(self):
+        planner = DeploymentPlanner()
+        with pytest.raises(ConfigurationError):
+            planner.evaluate(TEMP_1HZ, 0.0)
+        with pytest.raises(ConfigurationError):
+            planner.survey(TEMP_1HZ, [])

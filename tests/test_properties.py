@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harvester.dcdc import SeikoSz882, TiBq25570
+from repro.harvester.harvester import battery_free_harvester
+from repro.harvester.rectifier import VoltageDoubler
+from repro.harvester.storage import Capacitor
+from repro.mac80211.airtime import frame_airtime_s
+from repro.mac80211.frames import FrameJob, FrameKind
+from repro.mac80211.rates import ALL_80211G_RATES_MBPS, PHY_80211G
+from repro.netstack.txqueue import DeviceQueue, power_vs_client
+from repro.packets.bytesutil import internet_checksum
+from repro.packets.dot11 import Dot11Data, MacAddress
+from repro.packets.ipv4 import IpPowerOption, IPv4Packet
+from repro.packets.radiotap import RadiotapHeader
+from repro.packets.udp import UdpDatagram
+from repro.sim.engine import Simulator
+from repro.units import dbm_to_watts, watts_to_dbm
+
+rates = st.sampled_from(ALL_80211G_RATES_MBPS)
+frame_sizes = st.integers(min_value=1, max_value=4096)
+payloads = st.binary(min_size=0, max_size=512)
+
+
+class TestChecksumProperties:
+    @given(payloads)
+    def test_checksum_of_data_plus_checksum_is_zero(self, data):
+        """Appending the checksum word makes the total sum validate."""
+        checksum = internet_checksum(data)
+        if len(data) % 2:
+            data = data + b"\x00"
+        combined = data + checksum.to_bytes(2, "big")
+        assert internet_checksum(combined) == 0
+
+    @given(payloads)
+    def test_checksum_in_16bit_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestCodecRoundTrips:
+    @given(payloads, st.integers(0, 0xFFF))
+    def test_dot11_data_round_trip(self, payload, sequence):
+        mac = MacAddress.from_string("02:00:00:00:00:01")
+        frame = Dot11Data.broadcast(mac, mac, payload=payload, sequence=sequence)
+        decoded = Dot11Data.decode(frame.encode(with_fcs=True))
+        assert decoded.payload == payload
+        assert decoded.header.sequence == sequence
+
+    @given(
+        st.integers(0, 65535),
+        st.integers(0, 65535),
+        payloads,
+    )
+    def test_udp_round_trip(self, src, dst, payload):
+        datagram = UdpDatagram(src_port=src, dst_port=dst, payload=payload)
+        raw = datagram.encode("10.1.2.3", "10.3.2.1")
+        assert UdpDatagram.decode(raw, "10.1.2.3", "10.3.2.1") == datagram
+
+    @given(st.integers(0, 0xFFFF), payloads)
+    def test_ipv4_power_round_trip(self, interface_id, payload):
+        packet = IPv4Packet(
+            src="192.168.1.1",
+            dst="255.255.255.255",
+            payload=payload,
+            power_option=IpPowerOption(interface_id=interface_id),
+        )
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.power_option.interface_id == interface_id
+        assert decoded.payload == payload
+
+    @given(rates, st.integers(0, 2**40), st.sampled_from([2412, 2437, 2462]))
+    def test_radiotap_round_trip(self, rate, tsft, channel):
+        header = RadiotapHeader(tsft_us=tsft, rate_mbps=rate, channel_mhz=channel)
+        decoded, rest = RadiotapHeader.decode(header.encode() + b"tail")
+        assert decoded.rate_mbps == rate
+        assert decoded.tsft_us == tsft
+        assert decoded.channel_mhz == channel
+        assert rest == b"tail"
+
+
+class TestAirtimeProperties:
+    @given(frame_sizes, rates)
+    def test_airtime_positive_and_bounded(self, size, rate):
+        airtime = frame_airtime_s(size, rate)
+        # Never faster than the raw bits, never absurdly slow.
+        assert airtime >= 8 * size / (rate * 1e6)
+        assert airtime <= 8 * size / (rate * 1e6) + 250e-6
+
+    @given(frame_sizes, frame_sizes, rates)
+    def test_airtime_monotone_in_size(self, a, b, rate):
+        small, large = sorted((a, b))
+        assert frame_airtime_s(small, rate) <= frame_airtime_s(large, rate)
+
+    @given(frame_sizes)
+    def test_airtime_monotone_in_rate_ofdm(self, size):
+        times = [frame_airtime_s(size, r) for r in (6.0, 12.0, 24.0, 54.0)]
+        assert times == sorted(times, reverse=True)
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), frame_sizes),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    def test_conservation(self, operations):
+        """Everything pushed is either queued, popped, or tail-dropped."""
+        queue = DeviceQueue(capacity=10, classifier=power_vs_client)
+        pushed = dropped = popped = 0
+        for is_push, size in operations:
+            if is_push:
+                frame = FrameJob(
+                    mac_bytes=size,
+                    rate_mbps=54.0,
+                    kind=FrameKind.POWER if size % 2 else FrameKind.DATA,
+                    broadcast=bool(size % 2),
+                )
+                if queue.push(frame):
+                    pushed += 1
+                else:
+                    dropped += 1
+            else:
+                if queue.pop() is not None:
+                    popped += 1
+        assert pushed == popped + len(queue)
+        assert queue.total_tail_dropped == dropped
+
+    @given(st.lists(frame_sizes, min_size=1, max_size=30))
+    def test_fifo_order_within_class(self, sizes):
+        queue = DeviceQueue(capacity=100)
+        frames = [FrameJob(mac_bytes=s, rate_mbps=54.0) for s in sizes]
+        for frame in frames:
+            queue.push(frame)
+        out = []
+        while True:
+            frame = queue.pop()
+            if frame is None:
+                break
+            out.append(frame)
+        assert out == frames
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=40))
+    def test_dispatch_order_is_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_run_until_splits_cleanly(self, delays, cut):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=cut)
+        early = len(fired)
+        assert all(d <= cut for d in fired)
+        sim.run()
+        assert len(fired) == len(delays)
+        assert early == sum(1 for d in delays if d <= cut)
+
+
+class TestUnitProperties:
+    @given(st.floats(min_value=-80.0, max_value=50.0))
+    def test_dbm_watts_round_trip(self, dbm):
+        assert abs(watts_to_dbm(dbm_to_watts(dbm)) - dbm) < 1e-9
+
+    @given(st.floats(min_value=-80.0, max_value=50.0))
+    def test_dbm_watts_monotone(self, dbm):
+        assert dbm_to_watts(dbm + 1.0) > dbm_to_watts(dbm)
+
+
+class TestHarvesterProperties:
+    @given(st.floats(min_value=-30.0, max_value=10.0))
+    @settings(max_examples=40)
+    def test_dc_never_exceeds_incident(self, dbm):
+        harvester = battery_free_harvester()
+        assert harvester.dc_output_power_w(dbm) <= dbm_to_watts(dbm)
+
+    @given(st.floats(min_value=-30.0, max_value=10.0))
+    @settings(max_examples=40)
+    def test_dc_below_rectifier_output(self, dbm):
+        harvester = battery_free_harvester()
+        point = harvester.operating_point(dbm)
+        assert point.dc_output_w <= point.rectifier_output_w + 1e-18
+
+    @given(
+        st.floats(min_value=1e-9, max_value=1e-2),
+        st.floats(min_value=10.0, max_value=2000.0),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=60)
+    def test_doubler_load_line_conserves_power(self, delivered, resistance, voltage):
+        doubler = VoltageDoubler()
+        assert doubler.output_power(delivered, resistance, voltage) <= delivered
+
+    @given(st.floats(min_value=0.0, max_value=3.0))
+    def test_dcdc_efficiency_bounded(self, vin):
+        for converter in (SeikoSz882(), TiBq25570()):
+            assert 0.0 <= converter.efficiency(vin) <= 1.0
+
+
+class TestStorageProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e-3), max_size=30),
+    )
+    def test_capacitor_energy_never_negative(self, deposits):
+        cap = Capacitor(capacitance_f=1e-6, leakage_resistance_ohm=1e5)
+        for amount in deposits:
+            cap.deposit(amount)
+            cap.leak(0.01)
+            cap.withdraw(amount / 2)
+        assert cap.energy_j >= 0
+        assert cap.voltage_v >= 0
+
+    @given(st.floats(min_value=0.0, max_value=5.0), st.floats(min_value=0.0, max_value=100.0))
+    def test_leak_only_decreases(self, v0, dt):
+        cap = Capacitor(capacitance_f=1e-6, leakage_resistance_ohm=1e6, initial_voltage_v=v0)
+        cap.leak(dt)
+        assert cap.voltage_v <= v0 + 1e-12

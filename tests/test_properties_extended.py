@@ -1,0 +1,129 @@
+"""Extended property-based tests: pcap containers, matching physics,
+occupancy accounting, and the harvester chain."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import empirical_cdf, percentile
+from repro.harvester.matching import LMatchingNetwork, RectifierImpedanceModel
+from repro.harvester.multiband import BandInput, MultiBandHarvester
+from repro.packets.control import AckFrame, CtsFrame, RtsFrame
+from repro.packets.dot11 import MacAddress
+from repro.packets.pcap import PcapReader, PcapWriter
+
+macs = st.binary(min_size=6, max_size=6).map(MacAddress)
+durations = st.integers(0, 0xFFFF)
+
+
+class TestPcapProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6),
+                st.binary(min_size=0, max_size=256),
+            ),
+            max_size=30,
+        )
+    )
+    def test_any_record_sequence_round_trips(self, records):
+        ordered = sorted(records, key=lambda r: r[0])
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for timestamp, data in ordered:
+            writer.write(timestamp, data)
+        writer.close()
+        parsed = PcapReader(buffer.getvalue()).read_all()
+        assert len(parsed) == len(ordered)
+        for (timestamp, data), record in zip(ordered, parsed):
+            assert record.data == data
+            assert abs(record.timestamp - timestamp) < 1e-5
+
+    @given(st.binary(min_size=0, max_size=64), st.integers(1, 32))
+    def test_snaplen_never_grows_data(self, data, snaplen):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=snaplen)
+        writer.write(0.0, data)
+        writer.close()
+        (record,) = PcapReader(buffer.getvalue()).read_all()
+        assert len(record.data) == min(len(data), snaplen)
+        assert record.original_length == len(data)
+
+
+class TestControlFrameProperties:
+    @given(macs, durations)
+    def test_ack_round_trip(self, mac, duration):
+        frame = AckFrame(receiver=mac, duration_us=duration)
+        assert AckFrame.decode(frame.encode()) == frame
+
+    @given(macs, macs, durations)
+    def test_rts_round_trip(self, ra, ta, duration):
+        frame = RtsFrame(receiver=ra, transmitter=ta, duration_us=duration)
+        assert RtsFrame.decode(frame.encode()) == frame
+
+    @given(macs, durations)
+    def test_cts_round_trip(self, mac, duration):
+        frame = CtsFrame(receiver=mac, duration_us=duration)
+        assert CtsFrame.decode(frame.encode()) == frame
+
+
+class TestMatchingPhysics:
+    @given(
+        st.floats(min_value=50.0, max_value=3000.0),
+        st.floats(min_value=0.05e-12, max_value=2e-12),
+        st.floats(min_value=1e-9, max_value=50e-9),
+        st.floats(min_value=0.3e-12, max_value=5e-12),
+        st.floats(min_value=0.8e9, max_value=6e9),
+    )
+    @settings(max_examples=100)
+    def test_passive_network_never_reflects_more_than_incident(
+        self, rp, cp, inductance, capacitance, frequency
+    ):
+        """|Γ| <= 1 for any passive RLC values: energy conservation."""
+        network = LMatchingNetwork(
+            inductance_h=inductance,
+            capacitance_f=capacitance,
+            rectifier=RectifierImpedanceModel(rp, rp * 2, cp),
+        )
+        gamma = abs(network.reflection_coefficient(frequency))
+        assert gamma <= 1.0 + 1e-9
+        assert 0.0 <= network.delivered_fraction(frequency) <= 1.0
+
+
+class TestMultibandProperties:
+    @given(
+        st.floats(min_value=-25.0, max_value=5.0),
+        st.floats(min_value=-25.0, max_value=5.0),
+    )
+    @settings(max_examples=40)
+    def test_band_outputs_add(self, wifi_dbm, uhf_dbm):
+        harvester = MultiBandHarvester()
+        wifi = harvester.dc_output_power_w([BandInput(2.437e9, wifi_dbm)])
+        uhf = harvester.dc_output_power_w([BandInput(915e6, uhf_dbm)])
+        both = harvester.dc_output_power_w(
+            [BandInput(2.437e9, wifi_dbm), BandInput(915e6, uhf_dbm)]
+        )
+        assert abs(both - (wifi + uhf)) < 1e-12
+
+
+class TestAnalysisProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_percentiles_monotone(self, samples):
+        p10 = percentile(samples, 10)
+        p50 = percentile(samples, 50)
+        p90 = percentile(samples, 90)
+        assert p10 <= p50 <= p90
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_cdf_fractions_cover_unit_interval(self, samples):
+        cdf = empirical_cdf(samples)
+        fractions = [f for _, f in cdf]
+        assert fractions[0] > 0
+        assert abs(fractions[-1] - 1.0) < 1e-12
+        assert fractions == sorted(fractions)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=100))
+    def test_percentile_bounded_by_extremes(self, samples):
+        for q in (0, 25, 50, 75, 100):
+            assert min(samples) <= percentile(samples, q) <= max(samples)

@@ -1,0 +1,146 @@
+"""RF substrate tests: propagation, antennas, materials, link budgets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.antenna import Antenna, ASUS_ROUTER_ANTENNA, HARVESTER_ANTENNA
+from repro.rf.link import LinkBudget, Transmitter
+from repro.rf.materials import WALL_MATERIALS, WallMaterial
+from repro.rf.propagation import (
+    FreeSpacePathLoss,
+    INDOOR_LOS_EXPONENT,
+    LogDistancePathLoss,
+)
+
+
+class TestFreeSpace:
+    def test_reference_value(self):
+        # Friis at 1 m, 2.437 GHz is ~40.2 dB.
+        assert FreeSpacePathLoss().path_loss_db(1.0, 2.437e9) == pytest.approx(
+            40.2, abs=0.1
+        )
+
+    def test_inverse_square(self):
+        model = FreeSpacePathLoss()
+        assert model.path_loss_db(20.0, 2.437e9) - model.path_loss_db(
+            10.0, 2.437e9
+        ) == pytest.approx(6.02, abs=0.01)
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ConfigurationError):
+            FreeSpacePathLoss().path_loss_db(0.0, 2.437e9)
+
+
+class TestLogDistance:
+    def test_matches_free_space_at_reference(self):
+        model = LogDistancePathLoss(exponent=3.0, reference_distance_m=1.0)
+        assert model.path_loss_db(1.0, 2.437e9) == pytest.approx(
+            FreeSpacePathLoss().path_loss_db(1.0, 2.437e9)
+        )
+
+    def test_exponent_scales_decay(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        delta = model.path_loss_db(10.0, 2.437e9) - model.path_loss_db(1.0, 2.437e9)
+        assert delta == pytest.approx(30.0, abs=0.01)
+
+    def test_below_reference_falls_back_to_free_space(self):
+        model = LogDistancePathLoss(exponent=4.0, reference_distance_m=2.0)
+        assert model.path_loss_db(1.0, 2.437e9) == pytest.approx(
+            FreeSpacePathLoss().path_loss_db(1.0, 2.437e9)
+        )
+
+    def test_continuous_at_reference(self):
+        model = LogDistancePathLoss(exponent=4.0, reference_distance_m=2.0)
+        just_below = model.path_loss_db(1.999, 2.437e9)
+        just_above = model.path_loss_db(2.001, 2.437e9)
+        assert abs(just_above - just_below) < 0.1
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(exponent=0.0)
+
+    def test_indoor_exponent_is_waveguided(self):
+        assert 1.5 < INDOOR_LOS_EXPONENT < 2.0
+
+
+class TestAntenna:
+    def test_effective_gain_with_perfect_efficiency(self):
+        assert Antenna(gain_dbi=6.0).effective_gain_dbi == pytest.approx(6.0)
+
+    def test_efficiency_reduces_gain(self):
+        lossy = Antenna(gain_dbi=6.0, efficiency=0.5)
+        assert lossy.effective_gain_dbi == pytest.approx(6.0 - 3.01, abs=0.01)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            Antenna(gain_dbi=2.0, efficiency=0.0)
+
+    def test_paper_antennas(self):
+        assert HARVESTER_ANTENNA.gain_dbi == 2.0
+        assert ASUS_ROUTER_ANTENNA.gain_dbi == pytest.approx(4.04)
+
+
+class TestMaterials:
+    def test_all_fig13_materials_present(self):
+        for name in ("free-space", "glass", "wood", "hollow-wall", "sheetrock"):
+            assert name in WALL_MATERIALS
+
+    def test_fig13_attenuation_ordering(self):
+        # The paper's bars increase monotonically in this order.
+        order = ["free-space", "wood", "glass", "hollow-wall", "sheetrock"]
+        values = [WALL_MATERIALS[n].attenuation_db for n in order]
+        assert values == sorted(values)
+
+    def test_rejects_negative_attenuation(self):
+        with pytest.raises(ConfigurationError):
+            WallMaterial("bad", 1.0, -1.0)
+
+
+class TestLinkBudget:
+    def test_eirp(self):
+        tx = Transmitter(tx_power_dbm=30.0)
+        assert tx.eirp_dbm == pytest.approx(36.0)
+
+    def test_received_power_at_paper_geometry(self):
+        # 30 dBm + 6 dBi router, 2 dBi harvester, ~20 ft: near the
+        # battery-free sensitivity, which is what sets the 20-ft range.
+        link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+        rx = link.received_power_dbm_at_feet(20.0)
+        assert -19.0 < rx < -15.0
+
+    def test_monotone_decreasing_with_distance(self):
+        link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+        powers = [link.received_power_dbm_at_feet(d) for d in (5, 10, 20, 40)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_wall_subtracts_attenuation(self):
+        bare = LinkBudget(Transmitter(tx_power_dbm=30.0))
+        walled = LinkBudget(
+            Transmitter(tx_power_dbm=30.0), wall=WALL_MATERIALS["sheetrock"]
+        )
+        delta = bare.received_power_dbm(2.0) - walled.received_power_dbm(2.0)
+        assert delta == pytest.approx(WALL_MATERIALS["sheetrock"].attenuation_db)
+
+    def test_received_power_watts_consistency(self):
+        from repro.units import dbm_to_watts
+
+        link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+        assert link.received_power_watts(3.0) == pytest.approx(
+            dbm_to_watts(link.received_power_dbm(3.0))
+        )
+
+    def test_range_for_sensitivity(self):
+        link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+        range_feet = link.range_for_sensitivity_feet(-17.8)
+        assert 15.0 < range_feet < 30.0
+
+    def test_higher_sensitivity_shortens_range(self):
+        link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+        assert link.range_for_sensitivity_feet(-15.0) < link.range_for_sensitivity_feet(
+            -19.3
+        )
+
+    def test_rejects_zero_distance(self):
+        link = LinkBudget(Transmitter(tx_power_dbm=30.0))
+        with pytest.raises(ConfigurationError):
+            link.received_power_dbm(0.0)

@@ -1,0 +1,48 @@
+"""Seed-robustness: the paper's qualitative claims must hold across seeds,
+not just at seed 0."""
+
+import pytest
+
+from repro.core.config import Scheme
+from repro.experiments.fig05_delay_sweep import measure_occupancy
+from repro.experiments.fig06_traffic import run_udp_for_scheme
+from repro.experiments.fig08_fairness import measure_neighbor_throughput
+from repro.experiments.fig14_homes import run_fig14
+
+SEEDS = (1, 2, 3)
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fig5_plateau_stable(self, seed):
+        occupancy = measure_occupancy(100.0, 5, duration_s=1.5, seed=seed)
+        assert 0.40 < occupancy < 0.60
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fig6a_powifi_tracks_baseline(self, seed):
+        kwargs = dict(rates_mbps=(10,), copies=1, run_seconds=1.0, seed=seed)
+        baseline = run_udp_for_scheme(Scheme.BASELINE, **kwargs)
+        powifi = run_udp_for_scheme(Scheme.POWIFI, **kwargs)
+        assert powifi.throughput_by_rate[10] == pytest.approx(
+            baseline.throughput_by_rate[10], rel=0.15
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fig8_fairness_ordering_stable(self, seed):
+        powifi = measure_neighbor_throughput(
+            Scheme.POWIFI, 24.0, duration_s=1.0, seed=seed
+        )
+        equal = measure_neighbor_throughput(
+            Scheme.EQUAL_SHARE, 24.0, duration_s=1.0, seed=seed
+        )
+        assert powifi > 0.95 * equal
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fig14_range_stable(self, seed):
+        study = run_fig14(seed=seed, duration_s=6 * 3600.0)
+        low, high = study.mean_cumulative_range
+        assert 0.6 < low < 1.1
+        assert 0.9 < high < 1.6
+        # The AP-count ordering survives reseeding.
+        means = {h.profile.index: h.mean_cumulative for h in study.homes}
+        assert means[5] < means[2]

@@ -1,0 +1,82 @@
+"""Calibration-sensitivity sweeps and the MAC-driven Fig 1 variant."""
+
+import pytest
+
+from repro.experiments.fig01_leakage import run_fig01_mac_driven
+from repro.experiments.sensitivity import (
+    sweep_office_load,
+    sweep_path_loss_exponent,
+)
+from repro.harvester.waveform import Burst, bursts_from_records
+from repro.mac80211.frames import FrameJob
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class TestMacDrivenFig01:
+    def test_mac_driven_stays_below_threshold(self):
+        """The full-stack Fig 1: DCF-produced bursts, analog waveform."""
+        result = run_fig01_mac_driven(duration_s=0.05)
+        assert not result.crossed_threshold
+        assert result.peak_voltage_v > 0.03  # it does charge visibly
+
+    def test_mac_driven_occupancy_in_band(self):
+        result = run_fig01_mac_driven(duration_s=0.1, occupancy=0.25)
+        assert 0.1 < result.occupancy < 0.4
+
+    def test_bursts_from_records_preserve_timing(self):
+        sim = Simulator()
+        streams = RandomStreams(0)
+        medium = Medium(sim, channel=1)
+        station = Station(sim, name="a", streams=streams)
+        medium.attach(station)
+        records = []
+        medium.add_observer(records.append)
+        for _ in range(3):
+            station.enqueue(FrameJob(mac_bytes=1536, rate_mbps=54.0, broadcast=True))
+        sim.run()
+        bursts = bursts_from_records(records)
+        assert len(bursts) == 3
+        for record, burst in zip(records, bursts):
+            assert burst.start_s == record.start
+            assert burst.duration_s == record.duration
+
+
+class TestPathLossSensitivity:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_path_loss_exponent()
+
+    def test_ordering_stable_across_exponents(self, sweep):
+        """camera-free < temp-free < temp-recharging at every exponent."""
+        for temp_free, temp_recharging, camera_free in sweep.ranges.values():
+            assert camera_free < temp_free < temp_recharging
+
+    def test_calibrated_exponent_reproduces_paper(self, sweep):
+        temp_free, temp_recharging, camera_free = sweep.ranges[1.85]
+        assert temp_free == pytest.approx(20.0, abs=2.5)
+        assert temp_recharging == pytest.approx(28.0, abs=2.5)
+        assert camera_free == pytest.approx(17.0, abs=2.0)
+
+    def test_steeper_exponent_shrinks_range(self, sweep):
+        assert sweep.ranges[2.0][0] < sweep.ranges[1.7][0]
+
+    def test_spread_is_bounded(self, sweep):
+        # A +-0.15 exponent uncertainty moves the range by feet, not tens.
+        assert sweep.spread_feet() < 12.0
+
+
+class TestOfficeLoadSensitivity:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_office_load(loads=(0.1, 0.4), duration_s=1.5)
+
+    def test_do_no_harm_at_every_load(self, sweep):
+        """PoWiFi must track Baseline regardless of ambient load."""
+        assert sweep.max_powifi_penalty() < 0.15
+
+    def test_baseline_throughput_declines_with_load(self, sweep):
+        loads = sorted(sweep.throughput)
+        assert sweep.throughput[loads[0]][0] >= sweep.throughput[loads[-1]][0] - 1.0

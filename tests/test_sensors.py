@@ -1,0 +1,203 @@
+"""Sensor-application tests: the §5 temperature sensor, camera and §8a
+charger."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.link import LinkBudget, Transmitter
+from repro.rf.materials import WALL_MATERIALS
+from repro.sensors.camera import IMAGE_CAPTURE_ENERGY_J, QCIF_FRAME_BYTES, WiFiCamera
+from repro.sensors.charger import (
+    UsbWiFiCharger,
+    hotspot_incident_power_dbm,
+)
+from repro.sensors.mcu import (
+    MCU_MIN_VOLTAGE_V,
+    Msp430Fr5969,
+    SensorLoad,
+    TEMPERATURE_LOAD,
+    TEMPERATURE_READ_ENERGY_J,
+)
+from repro.sensors.temperature import TemperatureSensor
+
+
+@pytest.fixture
+def link():
+    return LinkBudget(Transmitter(tx_power_dbm=30.0))
+
+
+class TestMcu:
+    def test_paper_energy_constants(self):
+        assert TEMPERATURE_READ_ENERGY_J == pytest.approx(2.77e-6)
+        assert IMAGE_CAPTURE_ENERGY_J == pytest.approx(10.4e-3)
+
+    def test_mcu_voltage_threshold(self):
+        mcu = Msp430Fr5969()
+        assert mcu.can_run_at(2.4)
+        assert not mcu.can_run_at(1.5)
+        assert MCU_MIN_VOLTAGE_V == pytest.approx(1.9)
+
+    def test_qcif_frame_fits_fram(self):
+        """§5.2: one grey-scale QCIF frame must fit the 64 KB FRAM."""
+        assert QCIF_FRAME_BYTES <= Msp430Fr5969().fram_bytes
+
+    def test_operations_per_second(self):
+        assert TEMPERATURE_LOAD.operations_per_second(2.77e-6) == pytest.approx(1.0)
+        assert TEMPERATURE_LOAD.operations_per_second(0.0) == 0.0
+
+    def test_load_validation(self):
+        with pytest.raises(ConfigurationError):
+            SensorLoad(name="bad", energy_per_operation_j=0.0)
+        with pytest.raises(ConfigurationError):
+            TEMPERATURE_LOAD.operations_per_second(-1.0)
+
+
+class TestTemperatureSensor:
+    def test_battery_free_range_near_20ft(self, link):
+        """Fig 11: the battery-free sensor operates to 20 feet."""
+        sensor = TemperatureSensor(battery_recharging=False)
+        assert sensor.range_feet(link) == pytest.approx(20.0, abs=2.5)
+
+    def test_battery_recharging_range_near_28ft(self, link):
+        """Fig 11: energy-neutral operation to 28 feet."""
+        sensor = TemperatureSensor(battery_recharging=True)
+        assert sensor.range_feet(link) == pytest.approx(28.0, abs=2.5)
+
+    def test_update_rate_decreases_with_distance(self, link):
+        sensor = TemperatureSensor()
+        rates = [
+            sensor.evaluate_at(link, d).update_rate_hz for d in (3, 6, 10, 15, 20)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_builds_similar_up_close(self, link):
+        """Fig 11: 'At closer distances, both harvesters have similar
+        update rates.'"""
+        free = TemperatureSensor(battery_recharging=False)
+        recharging = TemperatureSensor(battery_recharging=True)
+        at_3ft = (
+            free.evaluate_at(link, 3.0).update_rate_hz,
+            recharging.evaluate_at(link, 3.0).update_rate_hz,
+        )
+        assert 0.5 < at_3ft[0] / at_3ft[1] < 2.0
+
+    def test_battery_build_wins_beyond_15ft(self, link):
+        """Fig 11: past 15 feet the battery-recharging build is ahead."""
+        free = TemperatureSensor(battery_recharging=False)
+        recharging = TemperatureSensor(battery_recharging=True)
+        assert (
+            recharging.evaluate_at(link, 18.0).update_rate_hz
+            > free.evaluate_at(link, 18.0).update_rate_hz
+        )
+
+    def test_update_rate_scales_with_occupancy(self, link):
+        sensor = TemperatureSensor()
+        rx = link.received_power_dbm_at_feet(8.0)
+        assert sensor.update_rate_hz(rx, occupancy=0.9) > sensor.update_rate_hz(
+            rx, occupancy=0.45
+        )
+
+    def test_zero_occupancy_means_no_readings(self, link):
+        sensor = TemperatureSensor()
+        rx = link.received_power_dbm_at_feet(8.0)
+        assert sensor.update_rate_hz(rx, occupancy=0.0) == 0.0
+
+    def test_occupancy_validation(self):
+        sensor = TemperatureSensor()
+        with pytest.raises(ConfigurationError):
+            sensor.harvested_power_w(-10.0, occupancy=-0.1)
+
+    def test_read_energy_validation(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSensor(read_energy_j=0.0)
+
+
+class TestCamera:
+    def test_battery_free_range_near_17ft(self, link):
+        """Fig 12: battery-free camera to 17 feet."""
+        camera = WiFiCamera(battery_recharging=False)
+        assert camera.range_feet(link) == pytest.approx(17.0, abs=2.0)
+
+    def test_battery_recharging_range_past_23ft(self, link):
+        """Fig 12 + §5.2: energy-neutral at 23 ft, operating to ~26.5 ft."""
+        camera = WiFiCamera(battery_recharging=True)
+        range_feet = camera.range_feet(link)
+        assert 23.0 <= range_feet <= 30.0
+
+    def test_camera_range_shorter_than_temp_sensor(self, link):
+        """Figs 11/12: 17 ft camera vs 20 ft temperature sensor."""
+        camera = WiFiCamera(battery_recharging=False)
+        sensor = TemperatureSensor(battery_recharging=False)
+        assert camera.range_feet(link) < sensor.range_feet(link)
+
+    def test_inter_frame_time_grows_with_distance(self, link):
+        camera = WiFiCamera()
+        times = [
+            camera.evaluate_at(link, d).inter_frame_time_s for d in (5, 10, 15)
+        ]
+        assert times == sorted(times)
+
+    def test_out_of_range_is_infinite(self, link):
+        camera = WiFiCamera()
+        assert camera.evaluate_at(link, 40.0).inter_frame_time_s == float("inf")
+        assert not camera.evaluate_at(link, 40.0).operational
+
+    def test_wall_increases_inter_frame_time(self, link):
+        camera = WiFiCamera()
+        bare = camera.evaluate_at(link, 5.0).inter_frame_time_s
+        walled = camera.evaluate_at(
+            link, 5.0, wall=WALL_MATERIALS["sheetrock"]
+        ).inter_frame_time_s
+        assert walled > bare
+
+    def test_minutes_conversion(self, link):
+        outcome = camera_outcome = WiFiCamera().evaluate_at(link, 5.0)
+        assert outcome.inter_frame_minutes == pytest.approx(
+            outcome.inter_frame_time_s / 60.0
+        )
+
+    def test_capture_energy_validation(self):
+        with pytest.raises(ConfigurationError):
+            WiFiCamera(capture_energy_j=0.0)
+
+
+class TestCharger:
+    def test_paper_current_and_charge(self):
+        """§8(a): ~2.3 mA average; 0 -> ~41 % in 2.5 hours."""
+        charger = UsbWiFiCharger()
+        incident = hotspot_incident_power_dbm()
+        session = charger.charge_session(incident, 2.5)
+        assert session.average_current_ma == pytest.approx(2.3, abs=0.5)
+        assert session.charge_fraction_gained == pytest.approx(0.41, abs=0.08)
+
+    def test_current_scales_with_power(self):
+        charger = UsbWiFiCharger()
+        assert charger.charging_current_ma(15.0) > charger.charging_current_ma(5.0)
+
+    def test_charge_never_exceeds_full(self):
+        charger = UsbWiFiCharger()
+        session = charger.charge_session(
+            hotspot_incident_power_dbm(), duration_hours=100.0
+        )
+        assert session.charge_fraction_gained <= 1.0
+
+    def test_initial_fraction_respected(self):
+        charger = UsbWiFiCharger()
+        session = charger.charge_session(
+            hotspot_incident_power_dbm(), duration_hours=100.0, initial_fraction=0.9
+        )
+        assert session.charge_fraction_gained <= 0.1 + 1e-9
+
+    def test_closer_is_stronger(self):
+        assert hotspot_incident_power_dbm(5.0) > hotspot_incident_power_dbm(7.0)
+
+    def test_validation(self):
+        charger = UsbWiFiCharger()
+        with pytest.raises(ConfigurationError):
+            charger.charge_session(0.0, duration_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            charger.charge_session(0.0, 1.0, initial_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            hotspot_incident_power_dbm(0.0)
+        with pytest.raises(ConfigurationError):
+            UsbWiFiCharger(regulator_efficiency=0.0)

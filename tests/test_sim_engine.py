@@ -1,0 +1,151 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(1.5, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(1.5)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.0, fired.append, True)
+        sim.run()
+        assert fired and sim.now == pytest.approx(12.0)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_into_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 5:
+                sim.schedule(0.1, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+
+class TestRunUntil:
+    def test_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.pending_events == 1
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, 2)
+        sim.run(until=2.0)
+        assert fired == [2]
+
+    def test_clock_advances_to_until_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=3.0)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [1, 5]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancelled_event_not_counted_pending(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "keep")
+        doomed = sim.schedule(1.0, fired.append, "drop")
+        doomed.cancel()
+        sim.run()
+        assert fired == ["keep"]
+
+
+class TestBudgets:
+    def test_max_events_stops_runaway(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        sim.run(max_events=100)
+        assert sim.dispatched_events == 100
+
+    def test_run_until_empty_raises_on_budget_exhaustion(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_empty(max_events=50)
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(0.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,100 @@
+"""Random-stream and trace-recorder tests."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).stream("x")
+        b = RandomStreams(42).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(42)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        assert RandomStreams(1).stream("x").random() != RandomStreams(2).stream(
+            "x"
+        ).random()
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("s") is streams.stream("s")
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(7).fork("child").stream("s").random()
+        b = RandomStreams(7).fork("child").stream("s").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RandomStreams(7)
+        child = parent.fork("child")
+        assert parent.stream("s").random() != child.stream("s").random()
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        one = RandomStreams(3)
+        first = one.stream("existing").random()
+        two = RandomStreams(3)
+        two.stream("new-stream")  # extra stream created first
+        second = two.stream("existing").random()
+        assert first == second
+
+    def test_seed_property(self):
+        assert RandomStreams(99).seed == 99
+
+
+class TestTraceRecorder:
+    def test_emit_and_len(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "mac", "tx_start", size=1536)
+        recorder.emit(2.0, "mac", "tx_end")
+        assert len(recorder) == 2
+
+    def test_filter_by_kind(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "mac", "tx_start")
+        recorder.emit(2.0, "mac", "tx_end")
+        assert len(recorder.filter(kind="tx_start")) == 1
+
+    def test_filter_by_source(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "ch1", "tx_start")
+        recorder.emit(1.0, "ch6", "tx_start")
+        assert len(recorder.filter(source="ch6")) == 1
+
+    def test_filter_by_predicate(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "mac", "tx", size=100)
+        recorder.emit(2.0, "mac", "tx", size=1500)
+        big = recorder.filter(predicate=lambda r: r.get("size", 0) > 1000)
+        assert len(big) == 1 and big[0].get("size") == 1500
+
+    def test_enabled_kinds_filtering(self):
+        recorder = TraceRecorder(enabled_kinds=["tx_start"])
+        recorder.emit(1.0, "mac", "tx_start")
+        recorder.emit(1.0, "mac", "tx_end")
+        assert len(recorder) == 1
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "mac", "tx")
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_record_get_default(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "mac", "tx")
+        record = recorder.records[0]
+        assert record.get("missing", "fallback") == "fallback"
+
+    def test_iteration_order(self):
+        recorder = TraceRecorder()
+        for i in range(3):
+            recorder.emit(float(i), "s", "k", index=i)
+        assert [r.get("index") for r in recorder] == [0, 1, 2]

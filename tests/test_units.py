@@ -1,0 +1,98 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_negative_dbm(self):
+        assert units.dbm_to_watts(-30.0) == pytest.approx(1e-6)
+
+    def test_watts_to_dbm_round_trip(self):
+        for dbm in (-20.0, -3.0, 0.0, 10.0, 23.0, 30.0):
+            assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_watts_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+    def test_watts_to_dbm_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(-1.0)
+
+    def test_milliwatts_round_trip(self):
+        assert units.milliwatts_to_dbm(units.dbm_to_milliwatts(7.0)) == pytest.approx(7.0)
+
+    def test_milliwatts_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.milliwatts_to_dbm(0.0)
+
+
+class TestDbRatios:
+    def test_three_db_doubles(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-3)
+
+    def test_linear_to_db_round_trip(self):
+        assert units.linear_to_db(units.db_to_linear(-12.5)) == pytest.approx(-12.5)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+
+class TestDistance:
+    def test_feet_to_meters(self):
+        assert units.feet_to_meters(10.0) == pytest.approx(3.048)
+
+    def test_meters_to_feet_round_trip(self):
+        assert units.meters_to_feet(units.feet_to_meters(17.0)) == pytest.approx(17.0)
+
+
+class TestWavelength:
+    def test_wifi_wavelength(self):
+        # 2.437 GHz -> ~12.3 cm, the half-wavelength antenna spacing of §4.
+        assert units.wavelength(2.437e9) == pytest.approx(0.123, abs=1e-3)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            units.wavelength(0.0)
+
+
+class TestNoise:
+    def test_thermal_noise_20mhz(self):
+        # kTB over 20 MHz at 290 K is about -101 dBm.
+        noise = units.thermal_noise_watts(20e6)
+        assert units.watts_to_dbm(noise) == pytest.approx(-100.9, abs=0.5)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_watts(0.0)
+
+
+class TestTimeEnergy:
+    def test_microseconds(self):
+        assert units.microseconds(100.0) == pytest.approx(1e-4)
+
+    def test_seconds_to_us_round_trip(self):
+        assert units.seconds_to_us(units.microseconds(254.0)) == pytest.approx(254.0)
+
+    def test_mbps(self):
+        assert units.mbps(54.0) == pytest.approx(54e6)
+
+    def test_microjoules(self):
+        assert units.microjoules(2.77) == pytest.approx(2.77e-6)
+
+    def test_joules_to_microjoules_round_trip(self):
+        assert units.joules_to_microjoules(units.microjoules(5.0)) == pytest.approx(5.0)
+
+    def test_millijoules(self):
+        assert units.millijoules(10.4) == pytest.approx(10.4e-3)

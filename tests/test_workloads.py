@@ -1,0 +1,232 @@
+"""Workload tests: background traffic, web pages, home profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac80211.medium import Medium
+from repro.mac80211.station import Station
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.homes import (
+    HOME_CHANNELS,
+    HOME_DEPLOYMENTS,
+    HomeDeployment,
+    HomeProfile,
+    diurnal_multiplier,
+    peak_single_channel_metric,
+)
+from repro.workloads.office import OfficeBackground
+from repro.workloads.traffic import BurstyFrameSource, PoissonFrameSource
+from repro.workloads.web import TOP_10_US_SITES, all_pages, page_for_site
+
+
+def one_channel(seed=0):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    medium = Medium(sim, channel=1)
+    station = Station(sim, name="bg", streams=streams)
+    medium.attach(station)
+    return sim, streams, medium, station
+
+
+class TestPoissonSource:
+    def test_hits_target_occupancy(self):
+        sim, streams, medium, station = one_channel()
+        source = PoissonFrameSource(
+            sim, station, streams.stream("src"), target_occupancy=0.3
+        )
+        source.start()
+        sim.run(until=5.0)
+        assert medium.occupancy() == pytest.approx(0.3, abs=0.08)
+
+    def test_zero_target_generates_nothing(self):
+        sim, streams, medium, station = one_channel()
+        source = PoissonFrameSource(
+            sim, station, streams.stream("src"), target_occupancy=0.0
+        )
+        source.start()
+        sim.run(until=1.0)
+        assert source.frames_generated == 0
+
+    def test_retuning_changes_load(self):
+        sim, streams, medium, station = one_channel()
+        source = PoissonFrameSource(
+            sim, station, streams.stream("src"), target_occupancy=0.1
+        )
+        source.start()
+        sim.run(until=2.0)
+        low_busy = medium.total_busy_time
+        source.set_target_occupancy(0.5)
+        sim.run(until=4.0)
+        high_busy = medium.total_busy_time - low_busy
+        assert high_busy > low_busy * 2
+
+    def test_stop(self):
+        sim, streams, medium, station = one_channel()
+        source = PoissonFrameSource(
+            sim, station, streams.stream("src"), target_occupancy=0.2
+        )
+        source.start()
+        sim.run(until=1.0)
+        source.stop()
+        generated = source.frames_generated
+        sim.run(until=2.0)
+        assert source.frames_generated == generated
+
+    def test_target_validation(self):
+        sim, streams, medium, station = one_channel()
+        with pytest.raises(ConfigurationError):
+            PoissonFrameSource(sim, station, streams.stream("s"), target_occupancy=1.0)
+
+
+class TestBurstySource:
+    def test_hits_target_occupancy(self):
+        sim, streams, medium, station = one_channel(seed=5)
+        source = BurstyFrameSource(
+            sim, station, streams.stream("src"), target_occupancy=0.25
+        )
+        source.start()
+        sim.run(until=10.0)
+        assert medium.occupancy() == pytest.approx(0.25, abs=0.08)
+
+    def test_burst_length_validation(self):
+        sim, streams, medium, station = one_channel()
+        with pytest.raises(ConfigurationError):
+            BurstyFrameSource(
+                sim, station, streams.stream("s"), mean_burst_frames=0.5
+            )
+
+
+class TestOfficeBackground:
+    def test_one_station_per_channel(self):
+        sim = Simulator()
+        streams = RandomStreams(0)
+        media = {ch: Medium(sim, channel=ch) for ch in (1, 6, 11)}
+        office = OfficeBackground(sim, media, streams)
+        assert set(office.stations) == {1, 6, 11}
+
+    def test_unknown_channel_rejected(self):
+        sim = Simulator()
+        media = {1: Medium(sim, channel=1)}
+        with pytest.raises(ConfigurationError):
+            OfficeBackground(sim, media, RandomStreams(0), {6: 0.2})
+
+    def test_generates_ambient_load(self):
+        sim = Simulator()
+        streams = RandomStreams(0)
+        media = {1: Medium(sim, channel=1)}
+        office = OfficeBackground(sim, media, streams, {1: 0.25})
+        office.start()
+        sim.run(until=5.0)
+        assert 0.1 < media[1].occupancy() < 0.4
+
+
+class TestWebPages:
+    def test_ten_sites(self):
+        assert len(TOP_10_US_SITES) == 10
+        assert len(all_pages()) == 10
+
+    def test_known_site_shapes(self):
+        google = page_for_site("google.com")
+        yahoo = page_for_site("yahoo.com")
+        # yahoo was by far the heaviest 2015 front page; google the lightest.
+        assert yahoo.total_bytes > 2 * google.total_bytes
+        assert len(yahoo.objects) > len(google.objects)
+
+    def test_scale_shrinks_bytes(self):
+        full = page_for_site("reddit.com", scale=1.0)
+        small = page_for_site("reddit.com", scale=0.25)
+        assert small.total_bytes < full.total_bytes * 0.3
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            page_for_site("example.org")
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            page_for_site("google.com", scale=0.0)
+
+
+class TestHomeProfiles:
+    def test_six_homes(self):
+        assert len(HOME_DEPLOYMENTS) == 6
+
+    def test_table1_values(self):
+        """The encoded profiles must be exactly Table 1."""
+        expected = [
+            (1, 2, 6, 17),
+            (2, 1, 1, 4),
+            (3, 3, 6, 10),
+            (4, 2, 4, 15),
+            (5, 1, 2, 24),
+            (6, 3, 6, 16),
+        ]
+        actual = [
+            (p.index, p.users, p.devices, p.neighboring_aps)
+            for p in HOME_DEPLOYMENTS
+        ]
+        assert actual == expected
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            HomeProfile(7, users=-1, devices=0, neighboring_aps=0, start_hour=0, weekend=False)
+        with pytest.raises(ConfigurationError):
+            HomeProfile(7, users=1, devices=0, neighboring_aps=0, start_hour=25, weekend=False)
+
+
+class TestDiurnal:
+    def test_evening_peak_beats_night_trough(self):
+        assert diurnal_multiplier(21.0) > 2 * diurnal_multiplier(4.0)
+
+    def test_weekend_flattens_morning(self):
+        assert diurnal_multiplier(9.0, weekend=True) < diurnal_multiplier(
+            9.0, weekend=False
+        )
+
+    def test_periodic(self):
+        assert diurnal_multiplier(1.0) == pytest.approx(diurnal_multiplier(25.0))
+
+
+class TestHomeDeployment:
+    def test_peak_metric_from_airtime_constants(self):
+        assert 0.55 < peak_single_channel_metric() < 0.70
+
+    def test_24h_log_has_1440_windows(self):
+        deployment = HomeDeployment(HOME_DEPLOYMENTS[0])
+        samples = deployment.run()
+        assert len(samples) == 1440
+
+    def test_occupancy_bounded(self):
+        deployment = HomeDeployment(HOME_DEPLOYMENTS[0])
+        for sample in deployment.run():
+            for ch in HOME_CHANNELS:
+                assert 0.0 <= sample.router_occupancy[ch] <= 1.0
+            assert 0.0 <= sample.cumulative <= 3.0
+
+    def test_busy_neighborhood_lowers_occupancy(self):
+        """§6: carrier sense scales the router back under neighbour load."""
+        quiet = HomeDeployment(HOME_DEPLOYMENTS[1])  # 4 APs
+        busy = HomeDeployment(HOME_DEPLOYMENTS[4])  # 24 APs
+        quiet.run()
+        busy.run()
+        assert (
+            busy.cumulative_occupancy_series().mean
+            < quiet.cumulative_occupancy_series().mean
+        )
+
+    def test_reproducible_with_same_seed(self):
+        a = HomeDeployment(HOME_DEPLOYMENTS[2], RandomStreams(9))
+        b = HomeDeployment(HOME_DEPLOYMENTS[2], RandomStreams(9))
+        assert [s.cumulative for s in a.run()] == [s.cumulative for s in b.run()]
+
+    def test_series_requires_run(self):
+        deployment = HomeDeployment(HOME_DEPLOYMENTS[0])
+        with pytest.raises(ConfigurationError):
+            deployment.occupancy_series()
+
+    def test_client_load_only_on_channel_one(self):
+        deployment = HomeDeployment(HOME_DEPLOYMENTS[0])
+        samples = deployment.run()
+        sample = max(samples, key=lambda s: s.client_load)
+        assert sample.router_occupancy[1] >= sample.power_occupancy[1]
+        assert sample.router_occupancy[6] == pytest.approx(sample.power_occupancy[6])
