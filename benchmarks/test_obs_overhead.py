@@ -1,0 +1,64 @@
+"""Instrumentation-overhead guard: observability must stay near-free.
+
+Runs the fig 6a UDP workload (one PoWiFi point) with observability enabled
+and in ``--no-obs`` mode, best-of-3 each, and bounds the enabled-mode
+wall-clock overhead. The hot paths (medium transmissions, queue pushes,
+gate checks, injector ticks) each touch a handful of counters per event,
+so the budget is 10 % plus a small absolute slack for timer noise on
+short runs.
+"""
+
+from time import perf_counter
+
+from conftest import write_report
+
+from repro.core.config import Scheme
+from repro.experiments.fig06_traffic import run_udp_for_scheme
+from repro.obs import runtime as obs_runtime
+
+#: Relative wall-clock budget for enabled-mode instrumentation.
+MAX_OVERHEAD_FRACTION = 0.10
+
+#: Absolute slack (seconds) so sub-second runs don't fail on scheduler noise.
+ABSOLUTE_SLACK_S = 0.08
+
+
+def _run_once() -> float:
+    started = perf_counter()
+    run_udp_for_scheme(
+        Scheme.POWIFI, rates_mbps=(20,), copies=1, run_seconds=0.5
+    )
+    return perf_counter() - started
+
+
+def _best_of(n: int) -> float:
+    return min(_run_once() for _ in range(n))
+
+
+def test_obs_overhead_under_budget():
+    try:
+        obs_runtime.configure(enabled=True)
+        _run_once()  # warm imports and caches outside the timed runs
+        observed = _best_of(3)
+        obs_runtime.configure(enabled=False)
+        unobserved = _best_of(3)
+    finally:
+        obs_runtime.configure(enabled=True)
+
+    overhead = observed - unobserved
+    fraction = overhead / unobserved if unobserved > 0 else 0.0
+    write_report(
+        "obs_overhead",
+        [
+            "Observability overhead — fig 6a UDP point (PoWiFi, 20 Mb/s, 0.5 s)",
+            f"observed   {observed:8.3f} s",
+            f"unobserved {unobserved:8.3f} s",
+            f"overhead   {overhead:8.3f} s ({100 * fraction:.1f} %)",
+            "",
+            f"budget: {100 * MAX_OVERHEAD_FRACTION:.0f} % + {ABSOLUTE_SLACK_S} s slack",
+        ],
+    )
+    assert overhead <= MAX_OVERHEAD_FRACTION * unobserved + ABSOLUTE_SLACK_S, (
+        f"instrumentation overhead {overhead:.3f}s "
+        f"({100 * fraction:.1f}%) exceeds budget"
+    )

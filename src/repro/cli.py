@@ -6,18 +6,47 @@ Usage::
     python -m repro fig5                 # run one experiment, print a report
     python -m repro fig14 --seed 3
     python -m repro quickstart --duration 2.0
+    python -m repro metrics fig07        # run + export metrics JSONL
+    python -m repro trace fig07 --kinds mac.tx,core.gate_drop
+    python -m repro fig5 --no-obs        # instrumentation off
 
 Reports mirror the benchmark outputs; heavy experiments accept reduced
-scales through the driver defaults.
+scales through the driver defaults. Experiment ids tolerate zero padding
+(``fig07`` == ``fig7``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.obs import runtime as obs_runtime
+
+#: Zero-padded experiment ids (``fig07``) normalise to registry keys
+#: (``fig7``); already-canonical ids like ``fig10`` pass through.
+_PADDED_ID_RE = re.compile(r"^(fig|sec|table)0+(\d\w*)$")
+
+
+def normalize_experiment_id(experiment: str) -> str:
+    """Map ``fig07``/``fig06a``-style ids onto the registry's ``fig7``/``fig6a``."""
+    match = _PADDED_ID_RE.match(experiment.lower())
+    if match:
+        return match.group(1) + match.group(2)
+    return experiment
+
+
+def _run_driver(experiment: str, seed: int):
+    """Run one registered experiment driver, with the seed when accepted."""
+    driver = get_experiment(experiment)
+    try:
+        return driver(seed=seed)
+    except TypeError:
+        # Drivers without a seed parameter (pure-analytic experiments).
+        return driver()
 
 
 def _report_fig5(result) -> List[str]:
@@ -165,8 +194,107 @@ def _cmd_quickstart(duration: float, seed: int) -> int:
     return 0
 
 
+def _resolve_experiment(experiment: str) -> Optional[str]:
+    """Canonical registry key for ``experiment``, or None with a stderr note."""
+    key = normalize_experiment_id(experiment)
+    if key not in EXPERIMENTS:
+        print(f"unknown experiment {experiment!r}; try 'list'", file=sys.stderr)
+        return None
+    return key
+
+
+def _cmd_metrics(argv: List[str], no_obs: bool) -> int:
+    """``repro metrics <experiment>``: run it, export the metrics JSONL."""
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Run one experiment and export its metrics as JSONL.",
+    )
+    parser.add_argument("experiment", help="experiment id (see 'list')")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--output", default=None, help="JSONL path (default: metrics_<id>.jsonl)"
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, help="hot callbacks to print (0 disables)"
+    )
+    args = parser.parse_args(argv)
+    key = _resolve_experiment(args.experiment)
+    if key is None:
+        return 2
+    obs_runtime.configure(enabled=not no_obs)
+    _run_driver(key, args.seed)
+
+    output = args.output or f"metrics_{key}.jsonl"
+    engine = obs_runtime.aggregate_engine_stats()
+    with open(output, "w", encoding="utf-8") as handle:
+        count = obs_runtime.get_registry().to_jsonl(handle)
+        handle.write(json.dumps(engine) + "\n")
+    print(f"== {key} metrics ==")
+    print(f"wrote {count + 1} records to {output}")
+    print(
+        f"simulators {engine['simulators']}, dispatched {engine['dispatched']}, "
+        f"cancelled {engine['cancelled']}, "
+        f"heap high-water {engine['heap_high_watermark']}"
+    )
+    for row in obs_runtime.hot_callbacks(args.top):
+        print(
+            f"  {row['name']:<24} {row['count']:>9} calls  {row['wall_s']:9.4f} s"
+        )
+    return 0
+
+
+def _cmd_trace(argv: List[str], no_obs: bool) -> int:
+    """``repro trace <experiment> --kinds ...``: export the event trace."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run one experiment and export its trace as JSONL.",
+    )
+    parser.add_argument("experiment", help="experiment id (see 'list')")
+    parser.add_argument(
+        "--kinds",
+        default="all",
+        help="comma-separated trace kinds (e.g. mac.tx,core.gate_drop) or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--output", default=None, help="JSONL path (default: trace_<id>.jsonl)"
+    )
+    args = parser.parse_args(argv)
+    key = _resolve_experiment(args.experiment)
+    if key is None:
+        return 2
+    if no_obs:
+        print("trace export requires observability; drop --no-obs", file=sys.stderr)
+        return 2
+    kinds = (
+        None
+        if args.kinds == "all"
+        else tuple(k for k in args.kinds.split(",") if k)
+    )
+    obs_runtime.configure(enabled=True, trace_kinds=kinds)
+    _run_driver(key, args.seed)
+
+    trace = obs_runtime.get_trace()
+    output = args.output or f"trace_{key}.jsonl"
+    count = trace.to_jsonl(output)
+    print(f"== {key} trace ==")
+    print(f"wrote {count} records to {output}")
+    for kind in sorted(trace.kinds()):
+        print(f"  {kind:<24} {len(trace.filter(kind=kind)):>9}")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     """Entry point for ``python -m repro``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    no_obs = "--no-obs" in argv
+    if no_obs:
+        argv = [arg for arg in argv if arg != "--no-obs"]
+    if argv and argv[0] == "metrics":
+        return _cmd_metrics(argv[1:], no_obs)
+    if argv and argv[0] == "trace":
+        return _cmd_trace(argv[1:], no_obs)
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PoWiFi reproduction: run the paper's experiments.",
@@ -180,6 +308,7 @@ def main(argv: List[str] = None) -> int:
         "--duration", type=float, default=2.0, help="quickstart duration (s)"
     )
     args = parser.parse_args(argv)
+    obs_runtime.configure(enabled=not no_obs)
 
     if args.experiment == "list":
         return _cmd_list()
@@ -190,21 +319,13 @@ def main(argv: List[str] = None) -> int:
         return 0
     if args.experiment == "quickstart":
         return _cmd_quickstart(args.duration, args.seed)
-    if args.experiment not in EXPERIMENTS:
-        print(
-            f"unknown experiment {args.experiment!r}; try 'list'",
-            file=sys.stderr,
-        )
+    key = _resolve_experiment(args.experiment)
+    if key is None:
         return 2
 
-    driver = get_experiment(args.experiment)
-    try:
-        result = driver(seed=args.seed)
-    except TypeError:
-        # Drivers without a seed parameter (pure-analytic experiments).
-        result = driver()
-    reporter = _REPORTERS.get(args.experiment, _report_generic)
-    print(f"== {args.experiment} ==")
+    result = _run_driver(key, args.seed)
+    reporter = _REPORTERS.get(key, _report_generic)
+    print(f"== {key} ==")
     for line in reporter(result):
         print(line)
     return 0

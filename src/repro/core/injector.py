@@ -50,8 +50,24 @@ class PowerInjector:
         self.sent = 0
         self.dropped_by_gate = 0
         self.collided = 0
+        self.ticks = 0
         self._timer: Optional[Event] = None
         self._running = False
+        self._synced_ticks = 0
+        self._synced_gated = 0
+        metrics = sim.metrics
+        self._m_ticks = metrics.counter("core.injector.ticks", interface=station.name)
+        self._m_admitted = metrics.counter(
+            "core.injector.admitted", interface=station.name
+        )
+        self._m_gated = metrics.counter("core.injector.gated", interface=station.name)
+        self._m_sent = metrics.counter("core.injector.sent", interface=station.name)
+        self._m_collided = metrics.counter(
+            "core.injector.collided", interface=station.name
+        )
+        self._m_duty_cycle = metrics.gauge(
+            "core.injector.duty_cycle", interface=station.name
+        )
 
     # ------------------------------------------------------------- lifecycle
 
@@ -68,17 +84,47 @@ class PowerInjector:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._sync_metrics()
 
     @property
     def running(self) -> bool:
         """True while the injection loop is active."""
         return self._running
 
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of injection ticks the IP_Power gate admitted."""
+        if self.ticks == 0:
+            return 0.0
+        return (self.ticks - self.dropped_by_gate) / self.ticks
+
     # ----------------------------------------------------------------- loop
+
+    def _sync_metrics(self) -> None:
+        """Flush tick/gate tallies to the registry.
+
+        The injection loop runs every ~10 us of sim time, so per-tick
+        instrument updates would dominate instrumentation cost; tallies are
+        kept in plain attributes and flushed every 64th tick (and on stop).
+        """
+        if self.ticks == self._synced_ticks:
+            return
+        admitted = self.ticks - self.dropped_by_gate
+        synced_admitted = self._synced_ticks - self._synced_gated
+        self._m_ticks.inc(self.ticks - self._synced_ticks)
+        self._m_admitted.inc(admitted - synced_admitted)
+        self._m_gated.inc(self.dropped_by_gate - self._synced_gated)
+        # The admitted fraction of injection ticks — the injector's duty
+        # cycle, which the §3.2 feedback loop keeps just high enough to
+        # saturate the channel without starving clients.
+        self._m_duty_cycle.set(admitted / self.ticks)
+        self._synced_ticks = self.ticks
+        self._synced_gated = self.dropped_by_gate
 
     def _tick(self) -> None:
         if not self._running:
             return
+        self.ticks += 1
         if self.gate.admit():
             frame = FrameJob(
                 mac_bytes=self.config.mac_frame_bytes,
@@ -92,16 +138,20 @@ class PowerInjector:
             self.station.enqueue(frame)
         else:
             self.dropped_by_gate += 1
+        if not self.ticks & 63:
+            self._sync_metrics()
         self._timer = self.sim.schedule(
             self.config.effective_period_s, self._tick, name="power_inject"
         )
 
     def _on_complete(self, frame: FrameJob, success: bool, time: float) -> None:
         self.sent += 1
+        self._m_sent.inc()
         if not success:
             # A collided broadcast still delivered RF energy; we only count
             # it for §8c-style coexistence statistics.
             self.collided += 1
+            self._m_collided.inc()
 
     # --------------------------------------------------------------- tuning
 

@@ -53,6 +53,21 @@ class IpPowerGate:
         self.station = station
         self.queue_threshold = queue_threshold
         self.stats = GateStatistics()
+        metrics = station.sim.metrics
+        self._m_considered = metrics.counter(
+            "core.ip_power.considered", interface=station.name
+        )
+        self._m_admitted = metrics.counter(
+            "core.ip_power.admitted", interface=station.name
+        )
+        self._m_dropped = metrics.counter(
+            "core.ip_power.dropped", interface=station.name
+        )
+        self._m_depth_at_check = metrics.histogram(
+            "core.ip_power.depth_at_check",
+            buckets=(0, 1, 2, 3, 4, 5, 6, 8, 10, 20, 50),
+            interface=station.name,
+        )
 
     def admit(self) -> bool:
         """Decide whether the next power datagram may be queued.
@@ -62,13 +77,24 @@ class IpPowerGate:
         error code back to user space) otherwise.
         """
         self.stats.considered += 1
-        if (
-            self.queue_threshold is not None
-            and self.station.queue_depth >= self.queue_threshold
-        ):
+        self._m_considered.inc()
+        depth = self.station.queue_depth
+        self._m_depth_at_check.observe(depth)
+        if self.queue_threshold is not None and depth >= self.queue_threshold:
             self.stats.dropped += 1
+            self._m_dropped.inc()
+            trace = self.station.sim.trace
+            if trace.wants("core.gate_drop"):
+                trace.emit(
+                    self.station.sim.now,
+                    self.station.name,
+                    "core.gate_drop",
+                    depth=depth,
+                    threshold=self.queue_threshold,
+                )
             return False
         self.stats.admitted += 1
+        self._m_admitted.inc()
         return True
 
     def check_datagram(self, packet: IPv4Packet) -> bool:

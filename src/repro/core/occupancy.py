@@ -127,6 +127,12 @@ class OccupancyAnalyzer:
         self.station_filter = station_filter
         self._samples: List[_FrameSample] = []
         self._started_at = medium.sim.now
+        self._airtime_total = 0.0
+        metrics = medium.sim.metrics
+        labels = dict(channel=medium.channel, station=station_filter or "*")
+        self._m_frames = metrics.counter("core.occupancy.frames", **labels)
+        self._m_airtime = metrics.counter("core.occupancy.airtime_s", **labels)
+        self._m_fraction = metrics.gauge("core.occupancy.fraction", **labels)
         medium.add_observer(self._on_transmission)
 
     def _on_transmission(self, record: TransmissionRecord) -> None:
@@ -135,6 +141,15 @@ class OccupancyAnalyzer:
                 continue
             airtime = 8 * frame.mac_bytes / (frame.rate_mbps * 1e6)
             self._samples.append(_FrameSample(record.start, airtime))
+            self._airtime_total += airtime
+            self._m_frames.inc()
+            self._m_airtime.inc(airtime)
+            elapsed = self.medium.sim.now - self._started_at
+            if elapsed > 0:
+                # Running Σ size/rate ÷ elapsed — the paper's occupancy
+                # metric as a live gauge (counts the in-flight frame, so it
+                # can briefly lead the windowed statistic).
+                self._m_fraction.set(self._airtime_total / elapsed)
 
     @property
     def frame_count(self) -> int:

@@ -42,3 +42,7 @@ class MediumError(SimulationError):
 
 class QueueFullError(ReproError):
     """A bounded transmit queue rejected an enqueue."""
+
+
+class ObservabilityError(ReproError):
+    """The metrics/trace instrumentation layer was misused."""

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.config import Scheme
+from repro.obs import runtime as obs_runtime
 
 
 @dataclass
@@ -218,6 +219,7 @@ def generate_report(target: Optional[str] = None) -> str:
     target:
         Optional path to write the report to.
     """
+    obs_runtime.reset()
     sections: List[ReportSection] = []
     for build in _SECTIONS:
         started = time.perf_counter()
@@ -240,6 +242,22 @@ def generate_report(target: Optional[str] = None) -> str:
             f"| {section.title} | {section.paper_claim} | {measured} | "
             f"{status} | {section.seconds:.1f} |"
         )
+    engine = obs_runtime.aggregate_engine_stats()
+    if engine["simulators"]:
+        lines += [
+            "",
+            "## Engine telemetry",
+            "",
+            f"{engine['simulators']} simulators, "
+            f"{engine['dispatched']} events dispatched, "
+            f"{engine['cancelled']} cancelled, "
+            f"heap high-water {engine['heap_high_watermark']}.",
+            "",
+            "| callback | calls | wall s |",
+            "|---|---|---|",
+        ]
+        for row in obs_runtime.hot_callbacks(5):
+            lines.append(f"| {row['name']} | {row['count']} | {row['wall_s']:.3f} |")
     text = "\n".join(lines) + "\n"
     if target is not None:
         with open(target, "w", encoding="utf-8") as handle:

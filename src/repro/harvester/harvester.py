@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import CircuitError
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
 from repro.harvester.dcdc import (
     DcDcConverter,
     SeikoSz882,
@@ -83,6 +85,9 @@ class Harvester:
         The DC–DC converter (Seiko or TI).
     name:
         Label used in reports.
+    metrics:
+        Telemetry destination; defaults to the process-wide registry, which
+        is a no-op under ``--no-obs``.
     """
 
     def __init__(
@@ -91,11 +96,20 @@ class Harvester:
         rectifier: VoltageDoubler,
         dcdc: DcDcConverter,
         name: str = "harvester",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.matching = matching
         self.rectifier = rectifier
         self.dcdc = dcdc
         self.name = name
+        registry = metrics if metrics is not None else obs_runtime.get_registry()
+        self._m_regimes = {
+            regime: registry.counter(
+                "harvester.chain.evaluations", chain=name, regime=regime
+            )
+            for regime in ("off", "trickle", "bulk")
+        }
+        self._m_dc_out = registry.gauge("harvester.chain.dc_output_uw", chain=name)
 
     # --------------------------------------------------------------- internals
 
@@ -164,6 +178,8 @@ class Harvester:
         # The chain runs only if the unloaded doubler can reach threshold
         # (cold start for Seiko; MPPT reference for the battery build).
         if voc_t < v_need:
+            self._m_regimes["off"].inc()
+            self._m_dc_out.set(0.0)
             return HarvesterOperatingPoint(
                 incident_power_w=p_in,
                 regime="off",
@@ -183,6 +199,8 @@ class Harvester:
                 "trickle", d_t, va_t, voc_t, v_trickle, p_trickle,
             )
         dc_out = self.dcdc.transfer(p_rect, v_op)
+        self._m_regimes[regime].inc()
+        self._m_dc_out.set(dc_out * 1e6)
         return HarvesterOperatingPoint(
             incident_power_w=p_in,
             regime=regime,

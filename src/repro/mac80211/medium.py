@@ -96,6 +96,14 @@ class Medium:
         self.total_busy_time = 0.0
         self.transmission_count = 0
         self.collision_count = 0
+        metrics = sim.metrics
+        self._m_transmissions = metrics.counter(
+            "mac.medium.transmissions", channel=channel
+        )
+        self._m_collisions = metrics.counter("mac.medium.collisions", channel=channel)
+        self._m_busy_s = metrics.counter("mac.medium.busy_time_s", channel=channel)
+        self._m_airtime_s = metrics.counter("mac.medium.airtime_s", channel=channel)
+        self._m_rounds = metrics.counter("mac.medium.dcf_rounds", channel=channel)
 
     # ------------------------------------------------------------------ wiring
 
@@ -189,8 +197,25 @@ class Medium:
         self._busy_until = start + duration
         self.total_busy_time += duration
         self.transmission_count += len(pairs)
+        self._m_transmissions.inc(len(pairs))
+        self._m_busy_s.inc(duration)
+        self._m_airtime_s.inc(airtime)
+        self._m_rounds.inc()
         if collided:
             self.collision_count += 1
+            self._m_collisions.inc()
+        trace = self.sim.trace
+        if trace.wants("mac.tx"):
+            trace.emit(
+                start,
+                f"medium:ch{self.channel}",
+                "mac.tx",
+                stations=[s.name for s, _ in pairs],
+                airtime_s=airtime,
+                duration_s=duration,
+                collided=collided,
+                success=success,
+            )
         record = TransmissionRecord(
             start=start,
             duration=duration,

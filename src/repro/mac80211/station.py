@@ -53,10 +53,15 @@ class Station:
         self.sim = sim
         self.name = name
         if queue_classifier is None:
-            self.queue = DeviceQueue(capacity=queue_capacity)
+            self.queue = DeviceQueue(
+                capacity=queue_capacity, metrics=sim.metrics, name=name
+            )
         else:
             self.queue = DeviceQueue(
-                capacity=queue_capacity, classifier=queue_classifier
+                capacity=queue_capacity,
+                classifier=queue_classifier,
+                metrics=sim.metrics,
+                name=name,
             )
         self.backoff_rng: random.Random = streams.stream(f"backoff:{name}")
         self.loss_rng: random.Random = streams.stream(f"loss:{name}")
@@ -67,6 +72,15 @@ class Station:
         self.frames_sent = 0
         self.frames_dropped = 0
         self.bytes_sent = 0
+        metrics = sim.metrics
+        self._m_sent = metrics.counter("mac.station.frames_sent", station=name)
+        self._m_dropped = metrics.counter("mac.station.frames_dropped", station=name)
+        self._m_retries = metrics.counter("mac.station.retries", station=name)
+        self._m_backoff = metrics.histogram(
+            "mac.station.backoff_slots",
+            buckets=(0, 1, 3, 7, 15, 31, 63, 127, 255, 511, 1023),
+            station=name,
+        )
 
     # ----------------------------------------------------------------- queue
 
@@ -79,6 +93,13 @@ class Station:
         frame.enqueued_at = self.sim.now
         if not self.queue.push(frame):
             self.frames_dropped += 1
+            self._m_dropped.inc()
+            trace = self.sim.trace
+            if trace.wants("mac.drop"):
+                trace.emit(
+                    self.sim.now, self.name, "mac.drop",
+                    reason="tail_drop", flow=frame.flow,
+                )
             frame.complete(False, self.sim.now)
             return False
         if self._medium is not None:
@@ -97,6 +118,7 @@ class Station:
             attempts = self.queue.peek().attempts if len(self.queue) else 0
             cw = self._phy().cw_for_attempt(attempts)
             self.backoff_remaining = self.backoff_rng.randint(0, cw)
+            self._m_backoff.observe(self.backoff_remaining)
 
     def begin_transmission(self) -> FrameJob:
         """Called by the medium when this station wins the round.
@@ -125,17 +147,27 @@ class Station:
             self.backoff_remaining = None
             self.frames_sent += 1
             self.bytes_sent += frame.mac_bytes
+            self._m_sent.inc()
             frame.complete(success, self.sim.now)
             return
         # Failed unicast: retry with doubled contention window, or drop.
         if frame.attempts > phy.retry_limit:
             self.backoff_remaining = None
             self.frames_dropped += 1
+            self._m_dropped.inc()
+            trace = self.sim.trace
+            if trace.wants("mac.drop"):
+                trace.emit(
+                    self.sim.now, self.name, "mac.drop",
+                    reason="retry_limit", flow=frame.flow,
+                )
             frame.complete(False, self.sim.now)
             return
+        self._m_retries.inc()
         self.queue.push_front(frame)
         cw = phy.cw_for_attempt(frame.attempts)
         self.backoff_remaining = self.backoff_rng.randint(0, cw)
+        self._m_backoff.observe(self.backoff_remaining)
 
     def _phy(self):
         if self._medium is None:

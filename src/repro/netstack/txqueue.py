@@ -22,6 +22,11 @@ from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.mac80211.frames import FrameJob
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+#: Depth-at-push histogram buckets (frames); the interesting edges sit
+#: around the IP_Power thresholds (1-5) and the txqueuelen default (1000).
+_DEPTH_BUCKETS = (0, 1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1000)
 
 Classifier = Callable[[FrameJob], str]
 
@@ -50,23 +55,42 @@ class DeviceQueue:
     classifier:
         Maps frames to class names. With the default single class the queue
         degenerates to a bounded FIFO.
+    metrics:
+        Destination registry for depth/drop telemetry; ``None`` (the
+        default) wires the shared no-op registry, so bare queues cost
+        nothing. Stations pass their simulator's registry.
+    name:
+        Label for this queue's metrics (typically the owning station name).
     """
 
     def __init__(
         self,
         capacity: int = 1000,
         classifier: Classifier = single_class,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "queue",
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"queue capacity must be > 0, got {capacity}")
         self.capacity = capacity
         self.classifier = classifier
+        self.name = name
         self._classes: "OrderedDict[str, Deque[FrameJob]]" = OrderedDict()
         self._size = 0
         self._next_index = 0
         self.total_enqueued = 0
         self.total_tail_dropped = 0
         self.high_watermark = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_enqueued = registry.counter("net.txqueue.enqueued", queue=name)
+        self._m_dropped = registry.counter("net.txqueue.tail_dropped", queue=name)
+        self._m_depth = registry.gauge("net.txqueue.depth", queue=name)
+        self._m_high_watermark = registry.gauge(
+            "net.txqueue.high_watermark", queue=name
+        )
+        self._m_depth_on_push = registry.histogram(
+            "net.txqueue.depth_on_push", buckets=_DEPTH_BUCKETS, queue=name
+        )
 
     # ---------------------------------------------------------------- mutation
 
@@ -77,12 +101,17 @@ class DeviceQueue:
         queue = self._classes.setdefault(name, deque())
         if len(queue) >= self.capacity:
             self.total_tail_dropped += 1
+            self._m_dropped.inc()
             return False
         queue.append(frame)
         self._size += 1
         self.total_enqueued += 1
+        self._m_enqueued.inc()
+        self._m_depth.set(self._size)
+        self._m_depth_on_push.observe(self._size)
         if self._size > self.high_watermark:
             self.high_watermark = self._size
+            self._m_high_watermark.set(self._size)
         return True
 
     def push_front(self, frame: FrameJob) -> None:
@@ -94,6 +123,7 @@ class DeviceQueue:
         name = self.classifier(frame)
         self._classes.setdefault(name, deque()).appendleft(frame)
         self._size += 1
+        self._m_depth.set(self._size)
 
     def _serving_class(self) -> Optional[str]:
         """The class the next ``pop`` serves (round robin over backlogged)."""
@@ -117,6 +147,7 @@ class DeviceQueue:
         frame = self._classes[name].popleft()
         self._size -= 1
         self._next_index += 1
+        self._m_depth.set(self._size)
         return frame
 
     def clear(self) -> None:
@@ -124,6 +155,7 @@ class DeviceQueue:
         self._classes.clear()
         self._size = 0
         self._next_index = 0
+        self._m_depth.set(0)
 
     # ----------------------------------------------------------------- queries
 

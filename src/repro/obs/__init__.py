@@ -1,0 +1,41 @@
+"""Observability: metrics registry, energy ledger, and runtime wiring.
+
+The telemetry-first layer behind every performance claim in this repo: the
+paper measured channel occupancy, queue behaviour and harvested energy with
+tcpdump/tshark and router counters; the simulator measures them here. See
+``docs/observability.md`` for naming conventions and the JSONL schemas.
+
+Typical use::
+
+    from repro.obs import runtime
+
+    runtime.reset()                     # fresh registry + trace
+    ... run an experiment ...
+    runtime.get_registry().to_jsonl("metrics.jsonl")
+"""
+
+from __future__ import annotations
+
+from repro.obs.energy import EnergyLedger
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    Timeseries,
+)
+from repro.obs import runtime
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EnergyLedger",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Timeseries",
+    "runtime",
+]

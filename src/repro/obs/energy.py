@@ -1,0 +1,108 @@
+"""The harvested-energy ledger.
+
+Tracks every microjoule flowing into and out of a sensor's storage element,
+plus a capacitor-voltage timeseries — the simulation-side equivalent of the
+oscilloscope-on-the-storage-cap measurements behind Figs 1 and 11/12. The
+ledger is a thin facade over registry instruments so its data exports through
+the same ``metrics``/JSONL pipeline as everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+
+
+class EnergyLedger:
+    """µJ-in / µJ-out bookkeeping plus a storage-voltage timeseries.
+
+    Parameters
+    ----------
+    registry:
+        Destination registry; a disabled registry makes the ledger free.
+    chain:
+        Label identifying the harvester chain (e.g. ``"battery-free"``).
+    voltage_stride:
+        Record every ``stride``-th voltage sample — duty-cycle runs integrate
+        at 10 ms steps over hours, so unthinned sampling would be unbounded.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        chain: str = "harvester",
+        voltage_stride: int = 1,
+    ) -> None:
+        if voltage_stride < 1:
+            raise ObservabilityError(
+                f"voltage stride must be >= 1, got {voltage_stride}"
+            )
+        self.chain = chain
+        self._in = registry.counter("harvester.energy.in_uj", chain=chain)
+        self._out = registry.counter("harvester.energy.out_uj", chain=chain)
+        self._operations = registry.counter("harvester.energy.operations", chain=chain)
+        self._voltage = registry.timeseries("harvester.storage.voltage_v", chain=chain)
+        self._stride = voltage_stride
+        self._voltage_calls = 0
+
+    # ---------------------------------------------------------------- flows
+
+    def deposit(self, time_s: float, joules: float) -> None:
+        """Record harvested energy entering storage."""
+        if joules < 0:
+            raise ObservabilityError(f"cannot deposit negative energy {joules}")
+        self._in.inc(1e6 * joules)
+
+    def withdraw(
+        self,
+        time_s: float,
+        joules: float,
+        operation: bool = True,
+        operations: float = 1.0,
+    ) -> None:
+        """Record energy leaving storage (``operations`` operations by default)."""
+        if joules < 0:
+            raise ObservabilityError(f"cannot withdraw negative energy {joules}")
+        self._out.inc(1e6 * joules)
+        if operation:
+            self._operations.inc(operations)
+
+    def sample_voltage(self, time_s: float, volts: float) -> None:
+        """Record one storage-voltage sample (thinned by the stride)."""
+        if self._voltage_calls % self._stride == 0:
+            self._voltage.sample(time_s, volts)
+        self._voltage_calls += 1
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def deposited_uj(self) -> float:
+        """Total energy deposited, in microjoules."""
+        return self._in.value
+
+    @property
+    def withdrawn_uj(self) -> float:
+        """Total energy withdrawn, in microjoules."""
+        return self._out.value
+
+    @property
+    def net_uj(self) -> float:
+        """Deposited minus withdrawn, in microjoules."""
+        return self._in.value - self._out.value
+
+    @property
+    def operations(self) -> float:
+        """Number of operation-tagged withdrawals."""
+        return self._operations.value
+
+    @property
+    def voltage_samples(self) -> int:
+        """Number of retained voltage samples."""
+        return len(self._voltage)
+
+    def last_voltage(self) -> Optional[float]:
+        """Most recent sampled voltage, or None."""
+        last = self._voltage.last
+        return None if last is None else last[1]

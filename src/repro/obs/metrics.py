@@ -1,0 +1,468 @@
+"""The metrics registry: named, labelled instruments for the whole stack.
+
+Every layer of the simulator registers instruments here — DCF collision
+counters, per-channel airtime, txqueue depth, injector duty cycle, harvested
+energy — playing the role the router-side counters and tcpdump statistics
+played in the paper's evaluation (§4). Instruments are addressed by a dotted
+lowercase name (``layer.component.metric``, see ``docs/observability.md``)
+plus a label dict, so ``registry.counter("mac.medium.collisions", channel=6)``
+always resolves to the same underlying counter.
+
+Four instrument types:
+
+* :class:`Counter` — monotonically increasing total (float increments OK);
+* :class:`Gauge` — a value that goes up and down;
+* :class:`Histogram` — fixed-bucket distribution plus a deterministic
+  streaming reservoir for quantile estimates;
+* :class:`Timeseries` — sim-time-stamped gauge samples (time must be
+  monotonically non-decreasing).
+
+The registry is deliberately simulation-agnostic: it never touches the event
+loop or any random stream, so enabling or disabling observability can never
+perturb a seeded run. A disabled registry hands out shared no-op instruments
+whose mutators are empty methods, which is the ``--no-obs`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ObservabilityError
+
+#: ``layer.component.metric`` — lowercase dotted segments.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+#: Default histogram bucket upper bounds (generic small-count scale).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+#: Reservoir size bound for streaming quantiles; beyond it the reservoir is
+#: decimated 2:1 and the admission stride doubles (deterministic — no RNG).
+_RESERVOIR_MAX = 512
+
+LabelValue = Union[str, int, float, bool]
+Labels = Tuple[Tuple[str, LabelValue], ...]
+
+
+def _freeze_labels(labels: Dict[str, LabelValue]) -> Labels:
+    return tuple(sorted(labels.items()))
+
+
+class _Instrument:
+    """Shared identity for all instrument types."""
+
+    kind = "instrument"
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def label_dict(self) -> Dict[str, LabelValue]:
+        """Labels as a plain dict (for export)."""
+        return dict(self.labels)
+
+    def _base_record(self) -> Dict[str, Any]:
+        return {"type": self.kind, "name": self.name, "labels": self.label_dict}
+
+    def to_record(self) -> Dict[str, Any]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"<{type(self).__name__} {self.name}{{{labels}}}>"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def to_record(self) -> Dict[str, Any]:
+        record = self._base_record()
+        record["value"] = self.value
+        return record
+
+
+class Gauge(_Instrument):
+    """A point-in-time value that may move in either direction."""
+
+    kind = "gauge"
+
+    __slots__ = ("value", "updates")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+        self.updates += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the gauge up by ``amount``."""
+        self.value += amount
+        self.updates += 1
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Shift the gauge down by ``amount``."""
+        self.value -= amount
+        self.updates += 1
+
+    def to_record(self) -> Dict[str, Any]:
+        record = self._base_record()
+        record["value"] = self.value
+        record["updates"] = self.updates
+        return record
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution with a streaming quantile reservoir.
+
+    Bucket ``i`` counts observations ``v <= edges[i]``; one overflow bucket
+    counts the rest. Quantiles are estimated from a bounded reservoir thinned
+    deterministically (keep-every-``stride``-th), so histograms never perturb
+    seeded runs and memory stays O(1) for arbitrarily long simulations.
+    """
+
+    kind = "histogram"
+
+    __slots__ = (
+        "edges",
+        "bucket_counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_reservoir",
+        "_stride",
+        "_seen",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels)
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ObservabilityError(f"histogram {name!r} needs at least one bucket")
+        if list(edges) != sorted(set(edges)):
+            raise ObservabilityError(
+                f"histogram {name!r} bucket edges must be strictly increasing"
+            )
+        self.edges = edges
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: List[float] = []
+        self._stride = 1
+        self._seen = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._seen % self._stride == 0:
+            self._reservoir.append(value)
+            if len(self._reservoir) > _RESERVOIR_MAX:
+                self._reservoir = self._reservoir[::2]
+                self._stride *= 2
+        self._seen += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the reservoir."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def to_record(self) -> Dict[str, Any]:
+        record = self._base_record()
+        record.update(
+            count=self.count,
+            sum=self.sum,
+            mean=self.mean,
+            min=self.min if self.count else 0.0,
+            max=self.max if self.count else 0.0,
+            buckets=[
+                [edge, count] for edge, count in zip(self.edges, self.bucket_counts)
+            ]
+            + [["+inf", self.bucket_counts[-1]]],
+            quantiles={
+                "0.5": self.quantile(0.5),
+                "0.9": self.quantile(0.9),
+                "0.99": self.quantile(0.99),
+            },
+        )
+        return record
+
+
+class Timeseries(_Instrument):
+    """Sim-time-stamped gauge samples.
+
+    Sample times must be monotonically non-decreasing — simulation time never
+    runs backwards, so a violation always indicates a wiring bug and raises
+    :class:`~repro.errors.ObservabilityError`.
+    """
+
+    kind = "timeseries"
+
+    __slots__ = ("samples",)
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self.samples: List[Tuple[float, float]] = []
+
+    def sample(self, time_s: float, value: float) -> None:
+        """Append one ``(time, value)`` sample."""
+        if self.samples and time_s < self.samples[-1][0]:
+            raise ObservabilityError(
+                f"timeseries {self.name!r} time went backwards: "
+                f"{time_s} < {self.samples[-1][0]}"
+            )
+        self.samples.append((float(time_s), float(value)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent sample, or None when empty."""
+        return self.samples[-1] if self.samples else None
+
+    def values(self) -> List[float]:
+        """The sampled values in time order."""
+        return [v for _, v in self.samples]
+
+    def to_record(self) -> Dict[str, Any]:
+        record = self._base_record()
+        record["samples"] = [[t, v] for t, v in self.samples]
+        return record
+
+
+# --------------------------------------------------------------- no-op mode
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimeseries(Timeseries):
+    __slots__ = ()
+
+    def sample(self, time_s: float, value: float) -> None:
+        pass
+
+
+_NULL_LABELS: Labels = ()
+NULL_COUNTER = _NullCounter("noop", _NULL_LABELS)
+NULL_GAUGE = _NullGauge("noop", _NULL_LABELS)
+NULL_HISTOGRAM = _NullHistogram("noop", _NULL_LABELS, buckets=(1.0,))
+NULL_TIMESERIES = _NullTimeseries("noop", _NULL_LABELS)
+
+
+# ----------------------------------------------------------------- registry
+
+
+class MetricsRegistry:
+    """Instrument factory and export point.
+
+    Parameters
+    ----------
+    enabled:
+        When False every factory method returns a shared no-op instrument,
+        making instrumentation calls effectively free (the ``--no-obs``
+        mode). The flag is fixed at construction; the obs runtime swaps
+        whole registries to flip modes.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+        self._instruments: "Dict[Tuple[str, Labels], _Instrument]" = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this registry records anything."""
+        return self._enabled
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self._instruments.values())
+
+    # ------------------------------------------------------------- factories
+
+    def _get(self, cls, name: str, labels: Dict[str, LabelValue], **kwargs):
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(
+                f"metric name {name!r} is not dotted lowercase "
+                "(expected layer.component.metric)"
+            )
+        key = (name, _freeze_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls) or type(instrument) is not cls:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: LabelValue) -> Counter:
+        """Get or create the counter ``name{labels}``."""
+        if not self._enabled:
+            return NULL_COUNTER
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: LabelValue) -> Gauge:
+        """Get or create the gauge ``name{labels}``."""
+        if not self._enabled:
+            return NULL_GAUGE
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: LabelValue,
+    ) -> Histogram:
+        """Get or create the histogram ``name{labels}``.
+
+        ``buckets`` only applies on first creation; later lookups reuse the
+        existing edges.
+        """
+        if not self._enabled:
+            return NULL_HISTOGRAM
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def timeseries(self, name: str, **labels: LabelValue) -> Timeseries:
+        """Get or create the timeseries ``name{labels}``."""
+        if not self._enabled:
+            return NULL_TIMESERIES
+        return self._get(Timeseries, name, labels)
+
+    # --------------------------------------------------------------- queries
+
+    def get(self, name: str, **labels: LabelValue) -> Optional[_Instrument]:
+        """Look up an existing instrument without creating it."""
+        return self._instruments.get((name, _freeze_labels(labels)))
+
+    def find(self, prefix: str) -> List[_Instrument]:
+        """All instruments whose name starts with ``prefix``."""
+        return [
+            instrument
+            for instrument in self._instruments.values()
+            if instrument.name.startswith(prefix)
+        ]
+
+    def value(self, name: str, default: float = 0.0, **labels: LabelValue) -> float:
+        """Scalar value of a counter/gauge, or ``default`` when absent."""
+        instrument = self.get(name, **labels)
+        if instrument is None or not hasattr(instrument, "value"):
+            return default
+        return instrument.value  # type: ignore[union-attr]
+
+    # ---------------------------------------------------------------- export
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """One JSON-safe record per instrument, in registration order."""
+        return [instrument.to_record() for instrument in self._instruments.values()]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole registry as one JSON-safe dict."""
+        return {"metrics": self.snapshot()}
+
+    def to_jsonl(self, target: Union[str, TextIO]) -> int:
+        """Write one JSON line per instrument; returns the line count."""
+        records = self.snapshot()
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record) + "\n")
+        else:
+            for record in records:
+                target.write(json.dumps(record) + "\n")
+        return len(records)
+
+    def clear(self) -> None:
+        """Drop every instrument (fresh run)."""
+        self._instruments.clear()
+
+
+#: Shared disabled registry for components constructed with ``metrics=None``
+#: in an unobserved context.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

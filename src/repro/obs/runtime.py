@@ -1,0 +1,149 @@
+"""Process-wide observability state.
+
+Experiment drivers build their own simulators internally (often several per
+figure), so the telemetry for one CLI invocation is aggregated here: one
+shared :class:`~repro.obs.metrics.MetricsRegistry`, one shared
+:class:`~repro.sim.trace.TraceRecorder`, and the
+:class:`~repro.sim.engine.SimulatorStats` of every simulator created while
+observability is on. ``python -m repro metrics <exp>`` resets this state,
+runs the experiment, and exports whatever accumulated.
+
+The state is intentionally *not* thread-local: the simulator is
+single-threaded by design and the registry never feeds back into simulation
+behaviour, so a plain module-global keeps the hot-path lookup trivial.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+#: Engine-stats retention bound: long pytest sessions create thousands of
+#: simulators; only the most recent window is kept for aggregation.
+MAX_TRACKED_SIMULATORS = 256
+
+_enabled: bool = True
+_registry: MetricsRegistry = MetricsRegistry(enabled=True)
+_trace = None  # created lazily to avoid an import cycle with repro.sim
+_trace_kinds: Optional[Sequence[str]] = ()
+_sim_stats: Deque[Any] = deque(maxlen=MAX_TRACKED_SIMULATORS)
+
+
+def enabled() -> bool:
+    """Whether newly built simulators observe by default."""
+    return _enabled
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry (no-op registry when disabled)."""
+    return _registry
+
+
+def null_registry() -> MetricsRegistry:
+    """A shared always-disabled registry for explicitly unobserved components."""
+    return NULL_REGISTRY
+
+
+def get_trace():
+    """The process-wide trace recorder.
+
+    By default it records *no* kinds (``enabled_kinds=()``): traces are an
+    opt-in firehose, enabled per-run via :func:`configure` (the CLI's
+    ``trace --kinds`` path) or by tests.
+    """
+    global _trace
+    if _trace is None:
+        from repro.sim.trace import TraceRecorder
+
+        _trace = TraceRecorder(enabled_kinds=list(_trace_kinds or []))
+    return _trace
+
+
+def configure(
+    enabled: bool = True,
+    trace_kinds: Optional[Sequence[str]] = (),
+) -> None:
+    """Reset the observability state for a fresh run.
+
+    Parameters
+    ----------
+    enabled:
+        False is the ``--no-obs`` escape hatch: the registry becomes a no-op
+        and simulators skip profiling.
+    trace_kinds:
+        Kinds the shared trace recorder keeps. ``()`` (the default) records
+        nothing; ``None`` records every kind.
+    """
+    global _enabled, _registry, _trace, _trace_kinds
+    from repro.sim.trace import TraceRecorder
+
+    _enabled = bool(enabled)
+    _registry = MetricsRegistry(enabled=_enabled)
+    _trace_kinds = trace_kinds
+    _trace = TraceRecorder(
+        enabled_kinds=None if trace_kinds is None else list(trace_kinds)
+    )
+    _sim_stats.clear()
+
+
+def reset() -> None:
+    """Fresh registry/trace/engine-stats keeping the current mode."""
+    configure(enabled=_enabled, trace_kinds=_trace_kinds)
+
+
+def track_simulator(stats: Any) -> None:
+    """Register one simulator's stats object for later aggregation."""
+    _sim_stats.append(stats)
+
+
+def simulator_stats() -> List[Any]:
+    """Stats of the (most recent) simulators created while observing."""
+    return list(_sim_stats)
+
+
+def aggregate_engine_stats() -> Dict[str, Any]:
+    """Merge every tracked simulator's profile into one engine report.
+
+    Returns a JSON-safe dict with total dispatched/cancelled event counts,
+    the worst heap high-water mark, and per-callback-name dispatch counts
+    and cumulative wall-clock seconds summed across simulators.
+    """
+    dispatched = 0
+    cancelled = 0
+    heap_high_watermark = 0
+    counts: Dict[str, int] = {}
+    seconds: Dict[str, float] = {}
+    for stats in _sim_stats:
+        dispatched += stats.dispatched
+        cancelled += stats.cancelled
+        heap_high_watermark = max(heap_high_watermark, stats.heap_high_watermark)
+        for name, count in stats.callback_counts.items():
+            counts[name] = counts.get(name, 0) + count
+        for name, wall in stats.callback_wall_s.items():
+            seconds[name] = seconds.get(name, 0.0) + wall
+    return {
+        "type": "engine",
+        "simulators": len(_sim_stats),
+        "dispatched": dispatched,
+        "cancelled": cancelled,
+        "heap_high_watermark": heap_high_watermark,
+        "callback_counts": counts,
+        "callback_wall_s": seconds,
+    }
+
+
+def hot_callbacks(limit: int = 10) -> List[Dict[str, Any]]:
+    """The costliest callbacks across tracked simulators, by wall-clock."""
+    merged = aggregate_engine_stats()
+    rows = [
+        {
+            "name": name,
+            "count": merged["callback_counts"].get(name, 0),
+            "wall_s": wall,
+        }
+        for name, wall in merged["callback_wall_s"].items()
+    ]
+    rows.sort(key=lambda row: row["wall_s"], reverse=True)
+    return rows[:limit]

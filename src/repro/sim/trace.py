@@ -8,8 +8,19 @@ records afterwards (e.g. "all frames transmitted by the router on channel 6")
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    TextIO,
+    Union,
+)
 
 
 @dataclass(frozen=True)
@@ -37,22 +48,59 @@ class TraceRecord:
         """Convenience accessor into :attr:`fields`."""
         return self.fields.get(key, default)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (the JSONL trace schema)."""
+        return {
+            "time": self.time,
+            "source": self.source,
+            "kind": self.kind,
+            "fields": dict(self.fields),
+        }
+
 
 class TraceRecorder:
     """Collects :class:`TraceRecord` entries during a run.
 
-    Recording can be limited to certain kinds to keep long runs cheap.
+    Recording can be limited to certain kinds to keep long runs cheap. A
+    per-kind index is maintained at emit time so ``filter(kind=...)`` never
+    scans the whole log.
     """
 
     def __init__(self, enabled_kinds: Optional[List[str]] = None) -> None:
         self._records: List[TraceRecord] = []
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
         self._enabled_kinds = set(enabled_kinds) if enabled_kinds is not None else None
 
-    def emit(self, time: float, source: str, kind: str, **fields: Any) -> None:
-        """Record one occurrence (no-op if ``kind`` is filtered out)."""
-        if self._enabled_kinds is not None and kind not in self._enabled_kinds:
+    def wants(self, kind: str) -> bool:
+        """Whether :meth:`emit` would keep a record of this kind.
+
+        Hot paths check this before building an expensive fields payload.
+        """
+        return self._enabled_kinds is None or kind in self._enabled_kinds
+
+    def emit(
+        self,
+        time: float,
+        source: str,
+        kind: str,
+        fields: Optional[Mapping[str, Any]] = None,
+        **extra: Any,
+    ) -> None:
+        """Record one occurrence (no-op if ``kind`` is filtered out).
+
+        ``fields`` (a mapping) and keyword extras are merged into the
+        record's payload. The payload is copied at emit time, so a caller
+        mutating its dict afterwards cannot retroactively corrupt the
+        record.
+        """
+        if not self.wants(kind):
             return
-        self._records.append(TraceRecord(time, source, kind, fields))
+        payload: Dict[str, Any] = dict(fields) if fields else {}
+        if extra:
+            payload.update(extra)
+        record = TraceRecord(time, source, kind, payload)
+        self._records.append(record)
+        self._by_kind.setdefault(kind, []).append(record)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -65,17 +113,29 @@ class TraceRecorder:
         """All records in emission order."""
         return list(self._records)
 
+    def kinds(self) -> List[str]:
+        """Kinds recorded so far, in first-seen order."""
+        return list(self._by_kind.keys())
+
     def filter(
         self,
         kind: Optional[str] = None,
         source: Optional[str] = None,
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
     ) -> List[TraceRecord]:
-        """Return records matching all provided criteria."""
+        """Return records matching all provided criteria.
+
+        When ``kind`` is given the per-kind index is consulted, so the cost
+        is proportional to that kind's record count, not the whole log.
+        Emission order is preserved either way (the index lists append in
+        the same order as the main log).
+        """
+        if kind is not None:
+            candidates: List[TraceRecord] = self._by_kind.get(kind, [])
+        else:
+            candidates = self._records
         out = []
-        for record in self._records:
-            if kind is not None and record.kind != kind:
-                continue
+        for record in candidates:
             if source is not None and record.source != source:
                 continue
             if predicate is not None and not predicate(record):
@@ -83,6 +143,18 @@ class TraceRecorder:
             out.append(record)
         return out
 
+    def to_jsonl(self, target: Union[str, TextIO]) -> int:
+        """Write one JSON line per record; returns the line count."""
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                for record in self._records:
+                    handle.write(json.dumps(record.to_dict()) + "\n")
+        else:
+            for record in self._records:
+                target.write(json.dumps(record.to_dict()) + "\n")
+        return len(self._records)
+
     def clear(self) -> None:
         """Drop all recorded entries."""
         self._records.clear()
+        self._by_kind.clear()

@@ -98,3 +98,85 @@ class TestTraceRecorder:
         for i in range(3):
             recorder.emit(float(i), "s", "k", index=i)
         assert [r.get("index") for r in recorder] == [0, 1, 2]
+
+
+class TestTraceRecorderIndex:
+    def test_filter_by_kind_uses_index_and_preserves_order(self):
+        recorder = TraceRecorder()
+        for i in range(100):
+            recorder.emit(float(i), "s", "even" if i % 2 == 0 else "odd", index=i)
+        evens = recorder.filter(kind="even")
+        assert [r.get("index") for r in evens] == list(range(0, 100, 2))
+        # The indexed path must agree with a linear scan over records.
+        scan = [r for r in recorder.records if r.kind == "even"]
+        assert evens == scan
+
+    def test_filter_kind_plus_source_composes(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "ch1", "tx")
+        recorder.emit(2.0, "ch6", "tx")
+        recorder.emit(3.0, "ch6", "rx")
+        both = recorder.filter(kind="tx", source="ch6")
+        assert len(both) == 1 and both[0].time == 2.0
+
+    def test_filter_unknown_kind_is_empty(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "s", "tx")
+        assert recorder.filter(kind="nope") == []
+
+    def test_kinds_listing(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "s", "b_kind")
+        recorder.emit(2.0, "s", "a_kind")
+        assert sorted(recorder.kinds()) == ["a_kind", "b_kind"]
+
+    def test_clear_drops_index(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "s", "tx")
+        recorder.clear()
+        assert recorder.filter(kind="tx") == []
+        recorder.emit(2.0, "s", "tx")
+        assert len(recorder.filter(kind="tx")) == 1
+
+    def test_wants_respects_enabled_kinds(self):
+        record_all = TraceRecorder()
+        assert record_all.wants("anything")
+        narrow = TraceRecorder(enabled_kinds=["tx"])
+        assert narrow.wants("tx")
+        assert not narrow.wants("rx")
+        nothing = TraceRecorder(enabled_kinds=[])
+        assert not nothing.wants("tx")
+
+
+class TestTraceRecordFields:
+    def test_emit_copies_caller_fields_mapping(self):
+        recorder = TraceRecorder()
+        fields = {"depth": 3}
+        recorder.emit(1.0, "s", "gate", fields)
+        fields["depth"] = 99  # caller mutates after emit
+        fields["extra"] = True
+        record = recorder.records[0]
+        assert record.get("depth") == 3
+        assert record.get("extra") is None
+
+    def test_emit_merges_mapping_and_keywords(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "s", "k", {"a": 1}, b=2)
+        record = recorder.records[0]
+        assert record.get("a") == 1 and record.get("b") == 2
+
+    def test_to_dict_and_jsonl_round_trip(self, tmp_path):
+        import json
+
+        recorder = TraceRecorder()
+        recorder.emit(0.5, "medium:ch1", "mac.tx", airtime_s=0.001)
+        as_dict = recorder.records[0].to_dict()
+        assert as_dict == {
+            "time": 0.5,
+            "source": "medium:ch1",
+            "kind": "mac.tx",
+            "fields": {"airtime_s": 0.001},
+        }
+        path = tmp_path / "trace.jsonl"
+        assert recorder.to_jsonl(str(path)) == 1
+        assert json.loads(path.read_text().splitlines()[0]) == as_dict
