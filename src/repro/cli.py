@@ -9,6 +9,7 @@ Usage::
     python -m repro metrics fig07        # run + export metrics JSONL
     python -m repro trace fig07 --kinds mac.tx,core.gate_drop
     python -m repro fig5 --no-obs        # instrumentation off
+    python -m repro lint src/repro       # determinism/unit static analysis
 
 Reports mirror the benchmark outputs; heavy experiments accept reduced
 scales through the driver defaults. Experiment ids tolerate zero padding
@@ -294,6 +295,12 @@ def main(argv: List[str] = None) -> int:
         return _cmd_metrics(argv[1:], no_obs)
     if argv and argv[0] == "trace":
         return _cmd_trace(argv[1:], no_obs)
+    if argv and argv[0] == "lint":
+        # Dispatched before experiment parsing so the subcommand name can
+        # never collide with an experiment id (see docs/lint.md).
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

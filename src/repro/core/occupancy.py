@@ -199,7 +199,9 @@ def cumulative_series(per_channel: Sequence[OccupancySeries]) -> OccupancySeries
         raise ConfigurationError("need at least one channel series")
     window = per_channel[0].window_s
     for s in per_channel:
-        if s.window_s != window:
+        # Windows are copies of one configured literal, so exact equality
+        # is the correct consistency check, not float arithmetic.
+        if s.window_s != window:  # lint: ignore[PW005] config equality, not time math
             raise ConfigurationError("series windows differ")
     n = min(len(s.samples) for s in per_channel)
     out = OccupancySeries(window_s=window)

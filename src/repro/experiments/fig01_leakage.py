@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.harvester.harvester import battery_free_harvester
@@ -20,6 +20,7 @@ from repro.harvester.storage import Capacitor
 from repro.harvester.waveform import Burst, RectifierWaveformSimulator, VoltageSample
 from repro.rf.antenna import ASUS_ROUTER_ANTENNA
 from repro.rf.link import LinkBudget, Transmitter
+from repro.sim.rng import RandomStreams
 from repro.units import feet_to_meters
 
 #: The §2 experiment's geometry.
@@ -50,15 +51,19 @@ def generate_bursty_schedule(
     occupancy: float,
     seed: int = 0,
     mean_burst_s: float = 500e-6,
+    rng: Optional[random.Random] = None,
 ) -> List[Burst]:
     """A random on/off schedule with the requested busy fraction.
 
     Burst lengths are exponential around ``mean_burst_s`` (a few frames of
-    aggregated traffic); gaps are sized to meet the occupancy.
+    aggregated traffic); gaps are sized to meet the occupancy. Draws come
+    from the injected ``rng`` when given, otherwise from the named
+    ``fig1.bursts`` stream of a :class:`RandomStreams` built on ``seed``.
     """
     if not (0.0 < occupancy < 1.0):
         raise ConfigurationError(f"occupancy must be in (0, 1), got {occupancy}")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = RandomStreams(seed).stream("fig1.bursts")
     mean_gap_s = mean_burst_s * (1.0 - occupancy) / occupancy
     bursts: List[Burst] = []
     t = 0.0

@@ -9,6 +9,7 @@ threshold 1 (the queue repeatedly drains before user space can refill it).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,7 +34,7 @@ class DelaySweepResult:
     def occupancy_at(self, threshold: int, delay_us: float) -> float:
         """Lookup of a single sweep point."""
         for d, occ in self.curves[threshold]:
-            if d == delay_us:
+            if math.isclose(d, delay_us):
                 return occ
         raise KeyError(f"no point at threshold={threshold} delay={delay_us}")
 

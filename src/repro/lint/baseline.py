@@ -1,0 +1,66 @@
+"""The committed baseline: grandfathered findings that do not gate CI.
+
+The baseline is a JSON document listing fingerprints of known, justified
+findings. New code never adds to it by hand-editing alone — regenerate with
+``python -m repro lint --write-baseline`` and then *write a justification*
+for every entry, or the review should bounce it. Fixing the finding and
+shrinking the baseline is always preferred.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """fingerprint -> entry from the baseline file (empty if absent)."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("entries", []) if isinstance(data, dict) else []
+    result: Dict[str, Dict[str, object]] = {}
+    for entry in entries:
+        fingerprint = str(entry.get("fingerprint", ""))
+        if fingerprint:
+            result[fingerprint] = dict(entry)
+    return result
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, Dict[str, object]]
+) -> List[Finding]:
+    """Mark findings whose fingerprint the baseline grandfathers."""
+    for finding in findings:
+        entry = baseline.get(finding.fingerprint)
+        if entry is not None and entry.get("code") == finding.code:
+            finding.baselined = True
+    return list(findings)
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> int:
+    """Write every current finding as a baseline entry; returns the count.
+
+    Each entry carries an empty ``justification`` field the committer must
+    fill in — the review gate for new grandfathering.
+    """
+    entries = [
+        {
+            "fingerprint": finding.fingerprint,
+            "code": finding.code,
+            "path": finding.path,
+            "line": finding.line,
+            "line_text": finding.line_text,
+            "justification": "",
+        }
+        for finding in findings
+    ]
+    entries.sort(key=lambda e: (e["path"], e["code"], e["line"]))
+    document = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,498 @@
+"""The PW rule set: this codebase's real determinism/unit hazards.
+
+========  ==================================================================
+Code      Invariant
+========  ==================================================================
+PW001     No wall clock / OS entropy inside simulation packages.
+PW002     All randomness flows through :class:`repro.sim.rng.RandomStreams`
+          (or an injected ``random.Random``); no module-level ``random.*``
+          draws, no bare ``random.Random(...)`` outside ``repro.sim.rng``.
+PW003     No iteration over ``set``/``frozenset`` values inside simulation
+          packages (ordering would leak into event scheduling).
+PW004     No mixing of unit-suffixed quantities (``_dbm`` vs ``_mw``, ...)
+          across keyword/positional argument passing, ``+``/``-``, or
+          comparisons, without an explicit :mod:`repro.units` conversion.
+PW005     No float ``==``/``!=`` on simulation-time values.
+PW006     Obs metric names are dotted-lowercase string literals.
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+# --------------------------------------------------------------------- shared
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The identifier a suffix check applies to (unwraps unary minus)."""
+    if isinstance(node, ast.UnaryOp):
+        return _terminal_name(node.operand)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _suffix_of(name: Optional[str], suffixes: Tuple[str, ...]) -> Optional[str]:
+    """Unit suffix carried by ``name`` (``rx_dbm`` -> ``dbm``), if any."""
+    if not name:
+        return None
+    if name in suffixes:
+        return name
+    parts = name.rsplit("_", 1)
+    if len(parts) == 2 and parts[1] in suffixes:
+        return parts[1]
+    return None
+
+
+# ---------------------------------------------------------------------- PW001
+
+#: Wall-clock and entropy sources that make a run irreproducible.
+_WALLCLOCK_QUALNAMES: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+_WALLCLOCK_IMPORT_LEAVES: Dict[str, FrozenSet[str]] = {
+    "time": frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+        }
+    ),
+    "os": frozenset({"urandom", "getrandom"}),
+}
+
+
+@register
+class WallClockRule(Rule):
+    """PW001: simulation code must never read the host clock or OS entropy.
+
+    Simulation time is :attr:`Simulator.now` and nothing else; host-clock
+    reads make results machine-dependent, and ``os.urandom``/``uuid.uuid4``
+    bypass the seeded streams entirely.
+    """
+
+    code = "PW001"
+    name = "wall-clock-in-sim"
+    description = "wall clock / OS entropy read inside a simulation package"
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_sim_package
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            banned = _WALLCLOCK_IMPORT_LEAVES.get(node.module or "")
+            if banned:
+                for alias in node.names:
+                    if alias.name in banned:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {node.module}.{alias.name} in a "
+                            "simulation package; simulation time is "
+                            "Simulator.now",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        origin = ctx.resolve(node.func)
+        if origin is None:
+            return
+        if origin in _WALLCLOCK_QUALNAMES or origin.startswith("secrets."):
+            yield self.finding(
+                ctx,
+                node,
+                f"call to {origin} in a simulation package; use Simulator.now "
+                "(time) or RandomStreams (entropy)",
+            )
+
+
+# ---------------------------------------------------------------------- PW002
+
+#: ``random`` module functions that draw from (or reseed) the global RNG.
+_GLOBAL_DRAWS: FrozenSet[str] = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+    }
+)
+
+
+@register
+class SeededRngRule(Rule):
+    """PW002: every draw flows through ``RandomStreams`` or an injected rng.
+
+    Module-level ``random.*`` draws share hidden global state across
+    components, and a bare ``random.Random(seed)`` invents a private stream
+    whose draws shift whenever unrelated code changes — the exact failure
+    ``RandomStreams``'s named streams exist to prevent.
+    """
+
+    code = "PW002"
+    name = "unseeded-or-bare-rng"
+    description = "randomness not flowing through repro.sim.rng.RandomStreams"
+    node_types = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        origin = ctx.resolve(node.func)
+        if origin is None:
+            return
+        if origin == "random.Random":
+            if ctx.module != ctx.config.rng_module:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare random.Random(...) constructed outside "
+                    f"{ctx.config.rng_module}; take a RandomStreams stream "
+                    "or an injected random.Random instead",
+                )
+        elif origin.startswith("random.") and origin[7:] in _GLOBAL_DRAWS:
+            yield self.finding(
+                ctx,
+                node,
+                f"module-level {origin}() draws from the global RNG; use a "
+                "named RandomStreams stream",
+            )
+        elif origin.startswith("numpy.random."):
+            yield self.finding(
+                ctx,
+                node,
+                f"{origin}() uses numpy's global RNG; seed an explicit "
+                "generator from a RandomStreams stream",
+            )
+
+
+# ---------------------------------------------------------------------- PW003
+
+
+def _is_set_expr(node: ast.AST, ctx: FileContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.resolve(node.func) in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    """PW003: set iteration order must not reach the event heap.
+
+    ``set`` iteration order depends on insertion history and hash
+    randomisation of prior runs' object identities; two logically identical
+    runs can schedule events in different tie-break order. ``sorted(...)``
+    the set first.
+    """
+
+    code = "PW003"
+    name = "set-iteration-in-sim"
+    description = "iteration over a set/frozenset inside a simulation package"
+    node_types = (ast.For, ast.comprehension)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_sim_package
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        iterable = node.iter
+        if _is_set_expr(iterable, ctx):
+            yield self.finding(
+                ctx,
+                iterable,
+                "iterating a set here; ordering can leak into event "
+                "scheduling — wrap it in sorted(...)",
+            )
+
+
+# ---------------------------------------------------------------------- PW004
+
+#: Log-domain quantities legitimately added/subtracted in link budgets
+#: (rx_dbm = tx_dbm + gain_dbi - path_loss_db).
+_LOG_DOMAIN: FrozenSet[str] = frozenset({"db", "dbi", "dbm"})
+
+_COMPARE_OPS = (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+@register
+class UnitSuffixRule(Rule):
+    """PW004: unit-suffixed quantities never mix without a converter.
+
+    An argument named ``..._dbm`` handed to a ``..._mw`` parameter (or
+    added/compared to one) is the classic RF energy-accounting bug; route
+    the value through :mod:`repro.units` instead. Conversions are
+    recognised syntactically: a function call has no suffix, so
+    ``dbm_to_watts(rx_dbm)`` passes.
+    """
+
+    code = "PW004"
+    name = "unit-suffix-mismatch"
+    description = "mismatched unit suffixes without a repro.units conversion"
+    node_types = (ast.Call, ast.BinOp, ast.Compare)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._signatures = _local_signatures(ctx.tree)
+
+    def _suffix(self, ctx: FileContext, node: ast.AST) -> Optional[str]:
+        return _suffix_of(_terminal_name(node), ctx.config.unit_suffixes)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_call(ctx, node)
+        elif isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self._suffix(ctx, node.left)
+                right = self._suffix(ctx, node.right)
+                if (
+                    left
+                    and right
+                    and left != right
+                    and not (left in _LOG_DOMAIN and right in _LOG_DOMAIN)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"adding/subtracting _{left} and _{right} quantities; "
+                        "convert one side via repro.units first",
+                    )
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, _COMPARE_OPS):
+                    continue
+                left = self._suffix(ctx, operands[index])
+                right = self._suffix(ctx, operands[index + 1])
+                if left and right and left != right:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"comparing a _{left} quantity against a _{right} "
+                        "one; convert via repro.units first",
+                    )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        suffixes = ctx.config.unit_suffixes
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            param = _suffix_of(keyword.arg, suffixes)
+            value = self._suffix(ctx, keyword.value)
+            if param and value and param != value:
+                yield self.finding(
+                    ctx,
+                    keyword.value,
+                    f"_{value} value passed to parameter "
+                    f"{keyword.arg!r} (_{param}); convert via repro.units",
+                )
+        params = self._positional_params(ctx, node)
+        if params is None:
+            return
+        for arg, param_name in zip(node.args, params):
+            if isinstance(arg, ast.Starred):
+                break
+            param = _suffix_of(param_name, suffixes)
+            value = self._suffix(ctx, arg)
+            if param and value and param != value:
+                yield self.finding(
+                    ctx,
+                    arg,
+                    f"_{value} value passed to parameter "
+                    f"{param_name!r} (_{param}); convert via repro.units",
+                )
+
+    def _positional_params(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Optional[List[str]]:
+        """Parameter names for a call to a function defined in this file."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id not in ctx.imports:
+            return self._signatures.get((False, func.id))
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            return self._signatures.get((True, func.attr))
+        return None
+
+
+def _local_signatures(tree: ast.AST) -> Dict[Tuple[bool, str], List[str]]:
+    """(is_method, name) -> positional parameter names, for same-file defs.
+
+    Ambiguous names (two defs with differing parameter lists) are dropped
+    rather than guessed at.
+    """
+    signatures: Dict[Tuple[bool, str], Optional[List[str]]] = {}
+
+    def record(key: Tuple[bool, str], params: List[str]) -> None:
+        if key in signatures and signatures[key] != params:
+            signatures[key] = None
+        else:
+            signatures[key] = params
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Module):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    record((False, child.name), [a.arg for a in child.args.args])
+        elif isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    params = [a.arg for a in child.args.args]
+                    if params and params[0] in ("self", "cls"):
+                        params = params[1:]
+                    record((True, child.name), params)
+    return {key: params for key, params in signatures.items() if params is not None}
+
+
+# ---------------------------------------------------------------------- PW005
+
+#: Identifier suffixes that denote a time quantity.
+_TIME_SUFFIXES: Tuple[str, ...] = ("s", "us", "ms")
+
+
+def _is_time_like(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    if name == "now" or name.endswith("_time"):
+        return True
+    return _suffix_of(name, _TIME_SUFFIXES) is not None
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """PW005: no ``==``/``!=`` on simulation-time floats.
+
+    Simulation timestamps are sums of float durations; two paths to "the
+    same" instant differ in the last ulp often enough that equality checks
+    are schedule-dependent. Use ``math.isclose``, an ordering check, or
+    ``math.isinf`` — or pragma the rare intentionally-exact comparison.
+    """
+
+    code = "PW005"
+    name = "float-time-equality"
+    description = "float equality on a simulation-time value"
+    node_types = (ast.Compare,)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            for timeish, other in ((left, right), (right, left)):
+                if not _is_time_like(timeish):
+                    continue
+                # Comparing against a string/None is name matching, not time.
+                if isinstance(other, ast.Constant) and isinstance(
+                    other.value, (str, bytes, type(None))
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    "float equality on a time value; use math.isclose, an "
+                    "ordering check, or math.isinf",
+                )
+                break
+
+
+# ---------------------------------------------------------------------- PW006
+
+_METRIC_METHODS: FrozenSet[str] = frozenset(
+    {"counter", "gauge", "histogram", "timeseries"}
+)
+
+#: ``layer.component.metric`` — at least two dotted lowercase segments.
+_METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+
+@register
+class MetricNameRule(Rule):
+    """PW006: metric names are greppable dotted-lowercase literals.
+
+    The PR-1 observability contract: a metric mentioned in a dashboard or
+    doc must be findable with ``grep -r "mac.medium.collisions" src``.
+    Computed names (f-strings, variables) break that; dynamic dimensions
+    belong in labels, not the name.
+    """
+
+    code = "PW006"
+    name = "metric-name-literal"
+    description = "obs metric name is not a dotted-lowercase string literal"
+    node_types = (ast.Call,)
+
+    def applies(self, ctx: FileContext) -> bool:
+        # The registry itself passes validated names through variables.
+        return ctx.module != "repro.obs.metrics"
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _METRIC_METHODS:
+            return
+        if not node.args:
+            return
+        name_arg = node.args[0]
+        if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+            yield self.finding(
+                ctx,
+                name_arg,
+                f"metric name passed to .{func.attr}() must be a string "
+                "literal (dynamic dimensions go in labels)",
+            )
+            return
+        if not _METRIC_NAME_RE.match(name_arg.value):
+            yield self.finding(
+                ctx,
+                name_arg,
+                f"metric name {name_arg.value!r} is not dotted-lowercase "
+                "(layer.component.metric)",
+            )

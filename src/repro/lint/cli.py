@@ -1,0 +1,93 @@
+"""``python -m repro lint`` — the static-analysis subcommand.
+
+Exit codes: 0 clean (or everything baselined), 1 active error findings,
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.config import load_config
+from repro.lint.engine import active_errors, lint_paths
+from repro.lint.findings import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static analysis enforcing the simulator's determinism, "
+            "seeded-RNG and unit-discipline invariants (see docs/lint.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: [tool.repro-lint] baseline setting)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report and gate on every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: discovered from cwd)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = load_config(
+        pyproject=Path(args.config) if args.config else None
+    )
+    if args.baseline:
+        from dataclasses import replace
+
+        config = replace(config, baseline=args.baseline)
+
+    findings = lint_paths(
+        args.paths, config=config, use_baseline=not args.no_baseline
+    )
+    if args.write_baseline:
+        count = baseline_mod.write_baseline(findings, config.baseline_path)
+        print(f"wrote {count} entries to {config.baseline_path}")
+        print("fill in each entry's justification before committing")
+        return 0
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    errors = active_errors(findings)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""``[tool.repro-lint]`` configuration loaded from ``pyproject.toml``.
+
+Uses :mod:`tomllib` where available (Python >= 3.11) and falls back to a
+deliberately tiny TOML-subset reader elsewhere — the config table only ever
+holds strings, string lists, and one ``code = "severity"`` sub-table, and
+the repo may not install third-party TOML parsers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Severity
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10 only
+    _toml = None
+
+#: Packages under ``repro`` whose code runs *inside* the simulation and must
+#: therefore be deterministic (PW001/PW003 scope).
+DEFAULT_SIM_PACKAGES: Tuple[str, ...] = (
+    "sim",
+    "mac80211",
+    "core",
+    "netstack",
+    "sensors",
+    "harvester",
+)
+
+#: Unit suffixes recognised on identifier names (PW004/PW005).
+DEFAULT_UNIT_SUFFIXES: Tuple[str, ...] = (
+    "dbm",
+    "db",
+    "dbi",
+    "mw",
+    "uw",
+    "w",
+    "ft",
+    "m",
+    "us",
+    "ms",
+    "s",
+    "mhz",
+    "ghz",
+    "hz",
+    "mv",
+    "v",
+    "ma",
+    "uj",
+    "mj",
+    "j",
+    "mbps",
+)
+
+#: The only module allowed to construct ``random.Random`` directly (PW002).
+DEFAULT_RNG_MODULE = "repro.sim.rng"
+
+
+@dataclass
+class LintConfig:
+    """Effective lint configuration (defaults merged with pyproject)."""
+
+    sim_packages: Tuple[str, ...] = DEFAULT_SIM_PACKAGES
+    unit_suffixes: Tuple[str, ...] = DEFAULT_UNIT_SUFFIXES
+    rng_module: str = DEFAULT_RNG_MODULE
+    baseline: str = "lint_baseline.json"
+    exclude: Tuple[str, ...] = ()
+    disable: Tuple[str, ...] = ()
+    severity_overrides: Dict[str, Severity] = field(default_factory=dict)
+    #: Directory baseline/exclude paths resolve against (pyproject's home).
+    root: Optional[Path] = None
+
+    @property
+    def baseline_path(self) -> Path:
+        path = Path(self.baseline)
+        if not path.is_absolute() and self.root is not None:
+            path = self.root / path
+        return path
+
+    def rule_enabled(self, code: str) -> bool:
+        return code.upper() not in {c.upper() for c in self.disable}
+
+    def severity_for(self, code: str, default: Severity) -> Severity:
+        return self.severity_overrides.get(code.upper(), default)
+
+
+def _parse_toml_subset(text: str) -> Dict[str, Any]:
+    """Minimal TOML reader: sections, strings, string lists, booleans.
+
+    Only used when :mod:`tomllib` is unavailable; covers exactly the shapes
+    the ``[tool.repro-lint]`` table is documented to hold.
+    """
+    data: Dict[str, Any] = {}
+    section: Dict[str, Any] = data
+    pending_key: Optional[str] = None
+    pending_items: List[str] = []
+
+    def close_list() -> None:
+        nonlocal pending_key
+        if pending_key is not None:
+            section[pending_key] = list(pending_items)
+            pending_key = None
+            pending_items.clear()
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if pending_key is not None:
+            pending_items.extend(re.findall(r'"([^"]*)"', line))
+            if line.endswith("]"):
+                close_list()
+            continue
+        if not line or line.startswith("#"):
+            continue
+        header = re.match(r"^\[([^\]]+)\]$", line)
+        if header:
+            section = data
+            for part in header.group(1).split("."):
+                section = section.setdefault(part.strip().strip('"'), {})
+            continue
+        assignment = re.match(r"^([A-Za-z0-9_.\-\"]+)\s*=\s*(.*)$", line)
+        if not assignment:
+            continue
+        key = assignment.group(1).strip().strip('"')
+        value = assignment.group(2).strip()
+        if value.startswith("[") and not value.rstrip(",").endswith("]"):
+            pending_key = key
+            pending_items = re.findall(r'"([^"]*)"', value)
+            continue
+        if value.startswith("["):
+            section[key] = re.findall(r'"([^"]*)"', value)
+        elif value in ("true", "false"):
+            section[key] = value == "true"
+        else:
+            match = re.match(r'^"([^"]*)"', value)
+            if match:
+                section[key] = match.group(1)
+    close_list()
+    return data
+
+
+def _read_pyproject(path: Path) -> Dict[str, Any]:
+    text = path.read_text(encoding="utf-8")
+    if _toml is not None:
+        return _toml.loads(text)
+    return _parse_toml_subset(text)
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(
+    pyproject: Optional[Path] = None, start: Optional[Path] = None
+) -> LintConfig:
+    """Build the effective config.
+
+    Parameters
+    ----------
+    pyproject:
+        Explicit path to a ``pyproject.toml``; wins over discovery.
+    start:
+        Where discovery begins (default: the current directory).
+    """
+    if pyproject is None:
+        pyproject = find_pyproject(start or Path.cwd())
+    config = LintConfig()
+    if pyproject is None or not pyproject.is_file():
+        return config
+    data = _read_pyproject(pyproject)
+    table = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        return replace(config, root=pyproject.parent)
+
+    def str_tuple(key: str, default: Sequence[str]) -> Tuple[str, ...]:
+        value = table.get(key, default)
+        return tuple(str(item) for item in value)
+
+    overrides: Dict[str, Severity] = {}
+    for code, name in dict(table.get("severity", {})).items():
+        overrides[str(code).upper()] = Severity.parse(str(name))
+    return LintConfig(
+        sim_packages=str_tuple("sim-packages", DEFAULT_SIM_PACKAGES),
+        unit_suffixes=str_tuple("unit-suffixes", DEFAULT_UNIT_SUFFIXES),
+        rng_module=str(table.get("rng-module", DEFAULT_RNG_MODULE)),
+        baseline=str(table.get("baseline", "lint_baseline.json")),
+        exclude=str_tuple("exclude", ()),
+        disable=str_tuple("disable", ()),
+        severity_overrides=overrides,
+        root=pyproject.parent,
+    )

@@ -1,0 +1,130 @@
+"""The lint driver: files in, findings out.
+
+:func:`lint_source` lints one in-memory module (the unit tests' fixture
+entry point); :func:`lint_paths` walks directories, applies excludes,
+pragmas and the baseline, and is what the CLI calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity, assign_occurrences
+from repro.lint.pragmas import collect_pragmas, is_suppressed
+from repro.lint.rules import FileContext, build_import_map, module_name_for, run_rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str = "repro.sim.snippet",
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint one module given as a string; pragma-suppressed findings are
+    dropped, the baseline is *not* consulted (no filesystem involved).
+
+    A syntax error yields a single synthetic ``PW000`` error finding rather
+    than raising, so one broken file cannot abort a tree-wide run.
+    """
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="PW000",
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 1) - 1,
+                severity=Severity.ERROR,
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        config=config,
+        imports=build_import_map(tree),
+    )
+    findings = run_rules(ctx)
+    pragmas = collect_pragmas(source)
+    findings = [
+        f for f in findings if not is_suppressed(pragmas, f.line, f.code)
+    ]
+    assign_occurrences(findings)
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path], config: LintConfig) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.append(path)
+    unique = sorted({p.resolve() for p in files})
+    kept = []
+    for path in unique:
+        relative = str(path)
+        if config.root is not None:
+            try:
+                relative = str(path.relative_to(config.root))
+            except ValueError:
+                pass
+        if any(fnmatch(relative, pattern) for pattern in config.exclude):
+            continue
+        kept.append(path)
+    return kept
+
+
+def lint_paths(
+    paths: Iterable[str],
+    config: Optional[LintConfig] = None,
+    use_baseline: bool = True,
+) -> List[Finding]:
+    """Lint files/directories; returns all findings, baselined ones marked.
+
+    Paths are reported relative to the config root (the ``pyproject.toml``
+    directory) when possible, so fingerprints are machine-independent.
+    """
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    for path in iter_python_files([Path(p) for p in paths], config):
+        display = str(path)
+        if config.root is not None:
+            try:
+                display = path.relative_to(config.root).as_posix()
+            except ValueError:
+                pass
+        source = path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source,
+                path=display,
+                module=module_name_for(path),
+                config=config,
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    assign_occurrences(findings)
+    if use_baseline:
+        known = baseline_mod.load_baseline(config.baseline_path)
+        baseline_mod.apply_baseline(findings, known)
+    return findings
+
+
+def active_errors(findings: Iterable[Finding]) -> List[Finding]:
+    """Findings that should gate: non-baselined, error severity."""
+    return [
+        f
+        for f in findings
+        if not f.baselined and f.severity is Severity.ERROR
+    ]

@@ -1,0 +1,108 @@
+"""Findings: what a rule reports, how it is fingerprinted and rendered.
+
+A :class:`Finding` pins a rule code to a file/line plus a message. Its
+*fingerprint* deliberately ignores the line number — it hashes the source
+text of the flagged line (plus an occurrence index for duplicates) so that
+baseline entries survive unrelated edits above the finding.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code: errors gate, warnings inform."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @classmethod
+    def parse(cls, value: str) -> "Severity":
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {value!r}; expected 'warning' or 'error'"
+            ) from None
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    severity: Severity = Severity.ERROR
+    #: Source text of the flagged line, stripped (fingerprint input).
+    line_text: str = ""
+    #: Disambiguates identical (path, code, line_text) triples.
+    occurrence: int = 0
+    #: True when a committed baseline entry grandfathers this finding.
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        payload = f"{self.path}::{self.code}::{self.line_text}::{self.occurrence}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render_text(self) -> str:
+        tag = " [baselined]" if self.baselined else ""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.code} {self.severity.value}: {self.message}{tag}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity.value,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+
+def assign_occurrences(findings: Sequence[Finding]) -> None:
+    """Number duplicate (path, code, line_text) findings for stable prints."""
+    seen: Dict[str, int] = {}
+    for finding in findings:
+        key = f"{finding.path}::{finding.code}::{finding.line_text}"
+        finding.occurrence = seen.get(key, 0)
+        seen[key] = finding.occurrence + 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """The ``--format text`` report."""
+    lines: List[str] = [f.render_text() for f in findings]
+    active = [f for f in findings if not f.baselined]
+    lines.append(
+        f"{len(active)} finding(s) "
+        f"({len(findings) - len(active)} baselined, {len(findings)} total)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The ``--format json`` report (one machine-readable document)."""
+    active = [f for f in findings if not f.baselined]
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "active": len(active),
+            "baselined": len(findings) - len(active),
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,65 @@
+"""``# lint: ignore[PW###]`` pragma parsing.
+
+A pragma suppresses findings *on its own physical line*:
+
+* ``# lint: ignore[PW001]`` — suppress PW001 here;
+* ``# lint: ignore[PW001,PW005]`` — suppress several codes;
+* ``# lint: ignore`` — suppress every rule on this line (use sparingly).
+
+Anything after the closing bracket is free-form justification and is
+encouraged — a pragma without a *why* is a smell the next reader inherits.
+Pragmas are read with :mod:`tokenize` so strings containing the pragma text
+are never mistaken for one.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: Matches the pragma comment; group 1 is the optional bracketed code list.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Sentinel set meaning "every code is suppressed on this line".
+ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+
+def collect_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed codes (``ALL_CODES`` for a bare ignore).
+
+    Tolerates syntactically broken files (returns what was tokenizable).
+    """
+    pragmas: Dict[int, FrozenSet[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if not match:
+                continue
+            raw = match.group(1)
+            if raw is None:
+                codes = ALL_CODES
+            else:
+                codes = frozenset(
+                    code.strip().upper() for code in raw.split(",") if code.strip()
+                )
+            if codes:
+                line = token.start[0]
+                pragmas[line] = pragmas.get(line, frozenset()) | codes
+    except tokenize.TokenError:
+        pass
+    return pragmas
+
+
+def is_suppressed(
+    pragmas: Dict[int, FrozenSet[str]], line: int, code: str
+) -> bool:
+    """Whether ``code`` is pragma-suppressed on ``line``."""
+    codes = pragmas.get(line)
+    if not codes:
+        return False
+    return codes is ALL_CODES or "*" in codes or code.upper() in codes

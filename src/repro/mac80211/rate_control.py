@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.mac80211.airtime import frame_airtime_s
 from repro.mac80211.rates import ALL_80211G_RATES_MBPS, ERP_OFDM_RATES_MBPS
+from repro.sim.rng import RandomStreams
 
 
 class MinstrelLite:
@@ -29,7 +30,8 @@ class MinstrelLite:
         Fraction of decisions spent sampling a random non-best rate,
         mirroring Minstrel's ~10 % look-around.
     rng:
-        Randomness source for probing.
+        Randomness source for probing; inject a :class:`RandomStreams`
+        stream (the default is the ``mac.minstrel.probe`` stream at seed 0).
     reference_bytes:
         Frame size used when ranking rates by expected throughput.
     """
@@ -58,7 +60,7 @@ class MinstrelLite:
         self.rates = tuple(sorted(rates))
         self.ewma_weight = ewma_weight
         self.probe_fraction = probe_fraction
-        self.rng = rng or random.Random(0)
+        self.rng = rng or RandomStreams(0).stream("mac.minstrel.probe")
         self.reference_bytes = reference_bytes
         # Optimistic initialisation so every rate gets tried early.
         self.success_prob: Dict[float, float] = {r: 1.0 for r in self.rates}

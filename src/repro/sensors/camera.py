@@ -10,6 +10,7 @@ build: the 1 mAh / 3.0 V Li-Ion coin cell, evaluated energy-neutrally.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -46,7 +47,7 @@ class CameraResult:
     @property
     def operational(self) -> bool:
         """True when frames are ever captured."""
-        return self.inter_frame_time_s != float("inf")
+        return not math.isinf(self.inter_frame_time_s)
 
     @property
     def inter_frame_minutes(self) -> float:
