@@ -5,6 +5,8 @@ Usage::
     python -m repro list                 # show experiment ids
     python -m repro fig5                 # run one experiment, print a report
     python -m repro fig14 --seed 3
+    python -m repro run-all --jobs 4     # every paper artifact, in parallel
+    python -m repro run-all --ids fig5,fig14 --no-cache
     python -m repro quickstart --duration 2.0
     python -m repro metrics fig07        # run + export metrics JSONL
     python -m repro trace fig07 --kinds mac.tx,core.gate_drop
@@ -24,7 +26,8 @@ import re
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.errors import ConfigurationError
+from repro.experiments.registry import EXPERIMENTS, get_spec
 from repro.obs import runtime as obs_runtime
 
 #: Zero-padded experiment ids (``fig07``) normalise to registry keys
@@ -41,13 +44,17 @@ def normalize_experiment_id(experiment: str) -> str:
 
 
 def _run_driver(experiment: str, seed: int):
-    """Run one registered experiment driver, with the seed when accepted."""
-    driver = get_experiment(experiment)
-    try:
+    """Run one registered experiment driver, with the seed when accepted.
+
+    Seed routing consults the registry spec instead of catching
+    ``TypeError`` (which would also have swallowed genuine signature bugs
+    inside a driver).
+    """
+    spec = get_spec(experiment)
+    driver = spec.resolve()
+    if spec.accepts_seed():
         return driver(seed=seed)
-    except TypeError:
-        # Drivers without a seed parameter (pure-analytic experiments).
-        return driver()
+    return driver()
 
 
 def _report_fig5(result) -> List[str]:
@@ -181,6 +188,7 @@ def _cmd_list() -> int:
         print(f"  {key:<8} -> {EXPERIMENTS[key]}")
     print("  quickstart (built-in demo)")
     print("  report     (run everything, emit markdown)")
+    print("  run-all    (every experiment, parallel + cached; see docs/running.md)")
     return 0
 
 
@@ -202,6 +210,83 @@ def _resolve_experiment(experiment: str) -> Optional[str]:
         print(f"unknown experiment {experiment!r}; try 'list'", file=sys.stderr)
         return None
     return key
+
+
+def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
+    """``repro run-all``: regenerate every paper artifact, parallel + cached.
+
+    The full workflow (cache semantics, ``--jobs`` guidance, manifest
+    layout) is documented in ``docs/running.md``.
+    """
+    from repro.runner import DEFAULT_CACHE_DIR, ResultCache, run_all, write_manifest
+
+    parser = argparse.ArgumentParser(
+        prog="repro run-all",
+        description="Run all (or selected) experiments in parallel with "
+        "content-addressed result caching.",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--ids",
+        default=None,
+        help="comma-separated experiment ids (default: all 17)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="drop every cache entry before running",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--report",
+        default="run_manifest.json",
+        help="manifest output path (default: run_manifest.json)",
+    )
+    args = parser.parse_args(argv)
+    obs_runtime.configure(enabled=not no_obs)
+
+    ids = None
+    if args.ids is not None:
+        ids = [token for token in args.ids.split(",") if token.strip()]
+    if args.clear_cache:
+        removed = ResultCache(args.cache_dir).clear()
+        print(f"cleared {removed} cache entries from {args.cache_dir}")
+    try:
+        result = run_all(
+            ids=ids,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            seed=args.seed,
+            progress=print,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    manifest = write_manifest(result, args.report)
+    totals = manifest["totals"]
+    print(
+        f"== run-all == {totals['ok']}/{totals['experiments']} ok, "
+        f"{totals['cache_hits']} from cache, wall {totals['wall_s']:.2f}s "
+        f"(jobs={result.jobs})"
+    )
+    print(f"manifest: {args.report}")
+    return 0 if result.ok else 1
 
 
 def _cmd_metrics(argv: List[str], no_obs: bool) -> int:
@@ -291,6 +376,10 @@ def main(argv: List[str] = None) -> int:
     no_obs = "--no-obs" in argv
     if no_obs:
         argv = [arg for arg in argv if arg != "--no-obs"]
+    if argv and argv[0] == "run-all":
+        # Dispatched before experiment parsing, like the other subcommands
+        # whose names can never collide with an experiment id.
+        return _cmd_run_all(argv[1:], no_obs)
     if argv and argv[0] == "metrics":
         return _cmd_metrics(argv[1:], no_obs)
     if argv and argv[0] == "trace":

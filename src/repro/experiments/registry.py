@@ -1,46 +1,219 @@
-"""Registry mapping experiment ids to their driver callables.
+"""Registry mapping experiment ids to their driver callables and metadata.
 
 Populated lazily to keep import costs low; ids follow the paper's figure
-and table numbering.
+and table numbering. Two views are exposed:
+
+* :data:`EXPERIMENTS` — the historical ``id -> "module:callable"`` map,
+  kept for callers that only need the driver;
+* :data:`SPECS` — one :class:`ExperimentSpec` per experiment, carrying the
+  orchestration metadata the parallel runner (``repro.runner``) consumes:
+  an expected runtime class, an optional sweep decomposition, and a shape
+  check. The metadata fields are documented in ``docs/architecture.md``.
+
+All callables are referenced as ``"module:callable"`` strings so importing
+the registry never imports a driver; :func:`resolve_target` validates and
+resolves the references on demand.
 """
 
 from __future__ import annotations
 
 import importlib
-from typing import Callable, Dict
+import inspect
+import keyword
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
-#: Experiment id -> "module:callable" within repro.experiments.
-EXPERIMENTS: Dict[str, str] = {
-    "fig1": "repro.experiments.fig01_leakage:run_fig01",
-    "fig5": "repro.experiments.fig05_delay_sweep:run_fig05",
-    "fig6a": "repro.experiments.fig06_traffic:run_fig06a",
-    "fig6b": "repro.experiments.fig06_traffic:run_fig06b",
-    "fig6c": "repro.experiments.fig06_traffic:run_fig06c",
-    "fig7": "repro.experiments.fig06_traffic:run_fig07",
-    "fig8": "repro.experiments.fig08_fairness:run_fig08",
-    "fig9": "repro.experiments.fig09_return_loss:run_fig09",
-    "fig10": "repro.experiments.fig10_rectifier:run_fig10",
-    "fig11": "repro.experiments.fig11_temperature:run_fig11",
-    "fig12": "repro.experiments.fig12_camera:run_fig12",
-    "fig13": "repro.experiments.fig13_walls:run_fig13",
-    "fig14": "repro.experiments.fig14_homes:run_fig14",
-    "fig15": "repro.experiments.fig15_home_sensor:run_fig15",
-    "table1": "repro.experiments.table1_homes:run_table1",
-    "sec8a": "repro.experiments.sec8a_charger:run_sec8a",
-    "sec8c": "repro.experiments.sec8c_multi_router:run_sec8c",
+#: Valid :attr:`ExperimentSpec.runtime` classes, cheapest first. The runner
+#: schedules ``slow`` experiments before ``fast`` ones (longest-processing-
+#: time-first keeps the worker pool busy at the tail of a run).
+RUNTIME_CLASSES: Tuple[str, ...] = ("fast", "medium", "slow")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata for one registered experiment.
+
+    Attributes
+    ----------
+    id:
+        Canonical experiment id (``fig5``, ``table1``, ``sec8a``, ...).
+    target:
+        ``"module:callable"`` reference to the driver function.
+    runtime:
+        Expected runtime class on one core — one of
+        :data:`RUNTIME_CLASSES`. ``fast`` is sub-second, ``medium`` seconds,
+        ``slow`` a minute or more; purely a scheduling hint, never a limit.
+    sweep:
+        Optional ``"module:callable"`` reference to a sweep factory
+        (see ``repro.experiments.sweeps``). Called as ``factory(seed)``, it
+        returns independent part tasks plus a merge function whose output
+        is byte-identical to a monolithic driver call. ``None`` means the
+        experiment runs as a single task.
+    check:
+        Optional ``"module:callable"`` reference to a shape check
+        (see ``repro.experiments.shapecheck``). Called with the merged
+        result, it returns ``(ok, detail)`` asserting the paper's headline
+        shape without re-running anything.
+    """
+
+    id: str
+    target: str
+    runtime: str = "fast"
+    sweep: Optional[str] = None
+    check: Optional[str] = None
+
+    def resolve(self) -> Callable:
+        """The driver callable behind :attr:`target`."""
+        return resolve_target(self.target)
+
+    def accepts_seed(self) -> bool:
+        """Whether the driver takes a ``seed`` keyword.
+
+        Pure-analytic drivers (Fig 9–13, Table 1, §8a) have no randomness
+        and take no seed; callers use this instead of catching
+        ``TypeError`` (which would also swallow genuine driver bugs).
+        """
+        signature = inspect.signature(self.resolve())
+        return "seed" in signature.parameters
+
+
+def _spec(
+    experiment_id: str,
+    target: str,
+    runtime: str = "fast",
+    sweep: Optional[str] = None,
+) -> ExperimentSpec:
+    """Build one spec; shape checks follow the ``check_<id>`` convention."""
+    return ExperimentSpec(
+        id=experiment_id,
+        target=target,
+        runtime=runtime,
+        sweep=sweep,
+        check=f"repro.experiments.shapecheck:check_{experiment_id}",
+    )
+
+
+#: Experiment id -> full orchestration spec.
+SPECS: Dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in (
+        _spec("fig1", "repro.experiments.fig01_leakage:run_fig01"),
+        _spec(
+            "fig5",
+            "repro.experiments.fig05_delay_sweep:run_fig05",
+            runtime="medium",
+            sweep="repro.experiments.sweeps:fig5_sweep",
+        ),
+        _spec(
+            "fig6a",
+            "repro.experiments.fig06_traffic:run_fig06a",
+            runtime="slow",
+            sweep="repro.experiments.sweeps:fig6a_sweep",
+        ),
+        _spec(
+            "fig6b",
+            "repro.experiments.fig06_traffic:run_fig06b",
+            runtime="medium",
+            sweep="repro.experiments.sweeps:fig6b_sweep",
+        ),
+        _spec(
+            "fig6c",
+            "repro.experiments.fig06_traffic:run_fig06c",
+            runtime="slow",
+            sweep="repro.experiments.sweeps:fig6c_sweep",
+        ),
+        _spec("fig7", "repro.experiments.fig06_traffic:run_fig07", runtime="medium"),
+        _spec(
+            "fig8",
+            "repro.experiments.fig08_fairness:run_fig08",
+            runtime="medium",
+            sweep="repro.experiments.sweeps:fig8_sweep",
+        ),
+        _spec("fig9", "repro.experiments.fig09_return_loss:run_fig09"),
+        _spec("fig10", "repro.experiments.fig10_rectifier:run_fig10"),
+        _spec("fig11", "repro.experiments.fig11_temperature:run_fig11"),
+        _spec("fig12", "repro.experiments.fig12_camera:run_fig12"),
+        _spec("fig13", "repro.experiments.fig13_walls:run_fig13"),
+        _spec(
+            "fig14",
+            "repro.experiments.fig14_homes:run_fig14",
+            sweep="repro.experiments.sweeps:fig14_sweep",
+        ),
+        _spec("fig15", "repro.experiments.fig15_home_sensor:run_fig15"),
+        _spec("table1", "repro.experiments.table1_homes:run_table1"),
+        _spec("sec8a", "repro.experiments.sec8a_charger:run_sec8a"),
+        _spec(
+            "sec8c",
+            "repro.experiments.sec8c_multi_router:run_sec8c",
+            runtime="medium",
+            sweep="repro.experiments.sweeps:sec8c_sweep",
+        ),
+    )
 }
+
+#: Experiment id -> "module:callable" within repro.experiments (the
+#: historical view; derived from :data:`SPECS`).
+EXPERIMENTS: Dict[str, str] = {key: spec.target for key, spec in SPECS.items()}
+
+
+def _validate_target(target: str) -> Tuple[str, str]:
+    """Split a ``"module:callable"`` reference, validating both halves."""
+    if not isinstance(target, str) or target.count(":") != 1:
+        raise ConfigurationError(
+            f"malformed target {target!r}: expected 'module:callable' with "
+            "exactly one colon"
+        )
+    module_name, func_name = target.split(":")
+    parts = module_name.split(".")
+    if not all(part.isidentifier() and not keyword.iskeyword(part) for part in parts):
+        raise ConfigurationError(
+            f"malformed target {target!r}: {module_name!r} is not a dotted "
+            "module path"
+        )
+    if not func_name.isidentifier() or keyword.iskeyword(func_name):
+        raise ConfigurationError(
+            f"malformed target {target!r}: {func_name!r} is not a valid "
+            "callable name"
+        )
+    return module_name, func_name
+
+
+def resolve_target(target: str) -> Callable:
+    """Resolve a validated ``"module:callable"`` reference to the callable.
+
+    Raises :class:`~repro.errors.ConfigurationError` for malformed
+    references, unimportable modules, and missing attributes — registry
+    entries are configuration, so their failure mode should name the broken
+    entry rather than surface a bare ``ValueError``/``ImportError``.
+    """
+    module_name, func_name = _validate_target(target)
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"target {target!r}: cannot import module {module_name!r} ({exc})"
+        ) from exc
+    try:
+        return getattr(module, func_name)
+    except AttributeError:
+        raise ConfigurationError(
+            f"target {target!r}: module {module_name!r} has no attribute "
+            f"{func_name!r}"
+        ) from None
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """The full spec for an experiment id."""
+    try:
+        return SPECS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(SPECS)}"
+        ) from None
 
 
 def get_experiment(experiment_id: str) -> Callable:
     """Resolve an experiment id to its driver function."""
-    try:
-        target = EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
-        ) from None
-    module_name, func_name = target.split(":")
-    module = importlib.import_module(module_name)
-    return getattr(module, func_name)
+    return get_spec(experiment_id).resolve()

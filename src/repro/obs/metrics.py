@@ -28,6 +28,8 @@ from __future__ import annotations
 import bisect
 import json
 import re
+import time
+from contextlib import contextmanager
 from typing import (
     Any,
     Dict,
@@ -47,6 +49,12 @@ _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
 
 #: Default histogram bucket upper bounds (generic small-count scale).
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+#: Bucket upper bounds (seconds) for :meth:`MetricsRegistry.timer`
+#: histograms — wall-clock spans from sub-millisecond to a few minutes.
+TIMER_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300,
+)
 
 #: Reservoir size bound for streaming quantiles; beyond it the reservoir is
 #: decimated 2:1 and the admission stride doubles (deterministic — no RNG).
@@ -414,6 +422,28 @@ class MetricsRegistry:
         if not self._enabled:
             return NULL_TIMESERIES
         return self._get(Timeseries, name, labels)
+
+    @contextmanager
+    def timer(self, name: str, **labels: LabelValue):
+        """Observe a wall-clock span into the histogram ``name{labels}``.
+
+        The span is measured with ``time.perf_counter`` and recorded in
+        seconds against :data:`TIMER_BUCKETS`. Only for host-side timing
+        (the parallel runner, exporters); simulation code must never read
+        the wall clock (lint rule PW001).
+
+        >>> registry = MetricsRegistry()
+        >>> with registry.timer("runner.part.wall_s", experiment="fig9"):
+        ...     _ = sum(range(10))
+        >>> registry.get("runner.part.wall_s", experiment="fig9").count
+        1
+        """
+        histogram = self.histogram(name, buckets=TIMER_BUCKETS, **labels)
+        started = time.perf_counter()
+        try:
+            yield histogram
+        finally:
+            histogram.observe(time.perf_counter() - started)
 
     # --------------------------------------------------------------- queries
 

@@ -1,0 +1,216 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every runner task (one experiment, or one sweep part of it) is addressed by
+a SHA-256 :func:`cache_key` over five inputs:
+
+* the experiment id and part name,
+* the driver's ``"module:callable"`` target,
+* the fully resolved keyword arguments (canonicalised, order-independent),
+* the seed,
+* a :func:`code_fingerprint` of the whole ``repro`` source tree.
+
+Identical inputs therefore replay instantly from ``.repro_cache/`` while
+*any* change to the configuration, the seed, or the library source
+invalidates exactly the runs it could have affected (the fingerprint is
+deliberately whole-tree: cheaper and safer than per-module dependency
+tracing — a one-line kernel change invalidates everything, which is the
+conservative direction). Entries are pickled result objects with a JSON
+metadata sidecar; unreadable entries are treated as misses and discarded,
+so a corrupted cache degrades to re-execution, never to wrong results.
+
+Cache layout::
+
+    .repro_cache/
+      objects/
+        <key>.pkl    # pickled result object
+        <key>.json   # metadata: experiment, part, seed, duration, size
+
+See ``docs/running.md`` for the user-facing semantics and invalidation
+rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+#: Bump when the key construction or entry layout changes; stale-schema
+#: entries then simply never match again.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def code_fingerprint(package_root: Optional[Path] = None) -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Files are folded in sorted-relative-path order with NUL separators, so
+    the fingerprint is stable across machines and processes and changes
+    whenever any source byte, file name, or file set changes.
+
+    >>> fingerprint = code_fingerprint()
+    >>> fingerprint == code_fingerprint()
+    True
+    >>> len(fingerprint)
+    64
+    """
+    if package_root is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def canonical_config(value: Any) -> Any:
+    """Reduce driver kwargs to a JSON-safe, order-independent form.
+
+    Dicts sort by key, tuples become lists, enums become ``Class.NAME``,
+    dataclasses fold in their type name and fields; anything else falls
+    back to ``repr``. Two kwargs dicts canonicalise equal exactly when the
+    driver cannot tell them apart.
+    """
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical_config(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        return {str(key): canonical_config(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [canonical_config(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def cache_key(
+    experiment_id: str,
+    part: str,
+    target: str,
+    kwargs: Dict[str, Any],
+    seed: Optional[int],
+    fingerprint: str,
+) -> str:
+    """The content address of one task's result (64 hex chars)."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "experiment": experiment_id,
+            "part": part,
+            "target": target,
+            "config": canonical_config(kwargs),
+            "seed": seed,
+            "code": fingerprint,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """The ``.repro_cache/`` store: pickled results addressed by key.
+
+    Writes are atomic (temp file + ``os.replace``) so a parallel run
+    interrupted mid-write can never leave a truncated entry that later
+    reads as a hit.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+
+    def _object_path(self, key: str) -> Path:
+        return self.objects / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.objects / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, result)``; corrupt or unreadable entries count as misses."""
+        path = self._object_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # Truncated/corrupt entry: drop it so it cannot mask re-execution.
+            self.discard(key)
+            return False, None
+
+    def put(self, key: str, result: Any, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Store one result and its metadata sidecar atomically."""
+        self.objects.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_atomic(self._object_path(key), payload)
+        record = dict(meta or {})
+        record["size_bytes"] = len(payload)
+        record["schema"] = CACHE_SCHEMA_VERSION
+        self._write_atomic(
+            self._meta_path(key),
+            (json.dumps(record, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+    def _write_atomic(self, path: Path, payload: bytes) -> None:
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists (without loading it)."""
+        return self._object_path(key).exists()
+
+    def discard(self, key: str) -> None:
+        """Remove one entry (both object and sidecar), if present."""
+        for path in (self._object_path(key), self._meta_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def keys(self) -> Iterator[str]:
+        """All stored entry keys."""
+        if not self.objects.is_dir():
+            return iter(())
+        return (path.stem for path in self.objects.glob("*.pkl"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            self.discard(key)
+            removed += 1
+        return removed

@@ -1,0 +1,391 @@
+"""The orchestrator: plan, cache-check, fan out, merge, shape-check.
+
+:func:`run_all` regenerates any subset of the paper's 17 registry
+experiments in one call:
+
+1. **Plan** — each experiment becomes one task, or several independent
+   part tasks when its :class:`~repro.experiments.registry.ExperimentSpec`
+   declares a sweep decomposition (Fig 5 by threshold, Fig 6 by scheme,
+   Fig 14 by home, ...).
+2. **Cache check** — every task's :func:`~repro.runner.cache.cache_key`
+   is probed against the content-addressed store; hits replay instantly.
+3. **Execute** — remaining tasks fan out over a
+   ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers), slowest
+   runtime class first so the pool drains evenly. ``jobs=1`` runs the same
+   plan in-process; both modes produce byte-identical results because
+   every task builds its own simulator from the same seed.
+4. **Merge + check** — part results are merged in canonical order and the
+   experiment's shape check validates the paper's headline claim.
+
+Per-task wall-clock and cache hit/miss counts flow through the shared
+``repro.obs`` metrics registry (``runner.*`` instruments); the caller gets
+a :class:`RunAllResult` from which ``run_manifest.json`` is rendered
+(:mod:`repro.runner.manifest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import (
+    RUNTIME_CLASSES,
+    SPECS,
+    ExperimentSpec,
+    get_spec,
+    resolve_target,
+)
+from repro.obs import runtime as obs_runtime
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+)
+from repro.runner.tasks import TaskSpec, execute_task
+
+#: Progress callback type: receives one formatted line per event.
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class PartRun:
+    """Outcome of one task (one sweep part, or the whole experiment)."""
+
+    part: str
+    key: str
+    cache_hit: bool
+    duration_s: float
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one experiment: merged result plus per-part records."""
+
+    id: str
+    runtime: str
+    seed: Optional[int]
+    parts: List[PartRun]
+    result: Any = None
+    result_sha256: str = ""
+    duration_s: float = 0.0
+    cache_hit: bool = False
+    shape_ok: Optional[bool] = None
+    shape_detail: str = ""
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Ran without error and passed (or had no) shape check."""
+        return self.error is None and self.shape_ok is not False
+
+
+@dataclass
+class RunAllResult:
+    """Everything one ``run-all`` invocation produced."""
+
+    runs: List[ExperimentRun]
+    jobs: int
+    seed: int
+    cache_enabled: bool
+    cache_dir: Optional[str]
+    code_fingerprint: str
+    wall_s: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        """Experiments served entirely from cache."""
+        return sum(1 for run in self.runs if run.cache_hit)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every experiment ran and shape-checked clean."""
+        return all(run.ok for run in self.runs)
+
+    def run_for(self, experiment_id: str) -> ExperimentRun:
+        """Lookup of one experiment's run record."""
+        for run in self.runs:
+            if run.id == experiment_id:
+                return run
+        raise KeyError(experiment_id)
+
+
+@dataclass
+class _Planned:
+    """One experiment's task list plus how to reassemble the result."""
+
+    spec: ExperimentSpec
+    seed: Optional[int]
+    tasks: List[TaskSpec]
+    keys: List[str]
+    merge: Optional[Callable[[Sequence[Any]], Any]]
+    #: Planning failure (broken target/sweep reference); recorded on the
+    #: experiment's run instead of sinking the whole invocation.
+    error: Optional[str] = None
+
+
+def _plan_experiment(spec: ExperimentSpec, seed: int, fingerprint: str) -> _Planned:
+    """Decompose one experiment into tasks and compute their cache keys."""
+    try:
+        return _plan_tasks(spec, seed, fingerprint)
+    except ConfigurationError as exc:
+        return _Planned(
+            spec=spec, seed=None, tasks=[], keys=[], merge=None, error=str(exc)
+        )
+
+
+def _plan_tasks(spec: ExperimentSpec, seed: int, fingerprint: str) -> _Planned:
+    if spec.sweep is not None:
+        factory = resolve_target(spec.sweep)
+        sweep_plan = factory(seed)
+        tasks = [
+            TaskSpec(
+                experiment_id=spec.id,
+                part=part.name,
+                target=part.target,
+                kwargs=dict(part.kwargs),
+                seed=seed if "seed" in part.kwargs else None,
+            )
+            for part in sweep_plan.parts
+        ]
+        merge: Optional[Callable[[Sequence[Any]], Any]] = sweep_plan.merge
+    else:
+        accepts_seed = spec.accepts_seed()
+        kwargs: Dict[str, Any] = {"seed": seed} if accepts_seed else {}
+        tasks = [
+            TaskSpec(
+                experiment_id=spec.id,
+                part="all",
+                target=spec.target,
+                kwargs=kwargs,
+                seed=seed if accepts_seed else None,
+            )
+        ]
+        merge = None
+    keys = [
+        cache_key(t.experiment_id, t.part, t.target, t.kwargs, t.seed, fingerprint)
+        for t in tasks
+    ]
+    return _Planned(
+        spec=spec,
+        seed=seed if any(t.seed is not None for t in tasks) else None,
+        tasks=tasks,
+        keys=keys,
+        merge=merge,
+    )
+
+
+def resolve_ids(ids: Optional[Sequence[str]]) -> List[str]:
+    """Normalise a user id list to canonical registry order.
+
+    ``None`` selects every registered experiment. Unknown ids raise
+    :class:`~repro.errors.ConfigurationError`; duplicates collapse.
+    """
+    from repro.cli import normalize_experiment_id
+
+    if ids is None:
+        return list(SPECS)
+    requested = []
+    for raw in ids:
+        key = normalize_experiment_id(raw.strip())
+        if key not in SPECS:
+            raise ConfigurationError(
+                f"unknown experiment {raw!r}; known: {sorted(SPECS)}"
+            )
+        if key not in requested:
+            requested.append(key)
+    return [key for key in SPECS if key in requested]
+
+
+def _runtime_rank(spec: ExperimentSpec) -> int:
+    return RUNTIME_CLASSES.index(spec.runtime)
+
+
+def _shape_check(spec: ExperimentSpec, result: Any) -> Tuple[Optional[bool], str]:
+    """Run the experiment's shape check, reporting its own failures."""
+    if spec.check is None:
+        return None, ""
+    try:
+        check = resolve_target(spec.check)
+        ok, detail = check(result)
+        return bool(ok), detail
+    except Exception as exc:  # a broken check must not sink the run
+        return False, f"shape check raised {type(exc).__name__}: {exc}"
+
+
+def run_all(
+    ids: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    seed: int = 0,
+    progress: Optional[ProgressFn] = None,
+) -> RunAllResult:
+    """Regenerate the selected experiments, in parallel and cached.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids to run (``None`` = all 17). Ids tolerate zero
+        padding exactly like the single-experiment CLI.
+    jobs:
+        Worker processes. ``None`` uses ``os.cpu_count()``; the effective
+        count never exceeds the number of pending tasks, and ``1`` runs
+        everything in-process (no pool).
+    use_cache:
+        ``False`` neither reads nor writes ``.repro_cache/``.
+    cache_dir:
+        Cache root (``.repro_cache`` by default).
+    seed:
+        Master seed handed to every seed-accepting driver.
+    progress:
+        Optional callback receiving one structured line per completed
+        task and per completed experiment (the CLI passes ``print``).
+    """
+    started = time.perf_counter()
+    ordered_ids = resolve_ids(ids)
+    fingerprint = code_fingerprint()
+    cache = ResultCache(cache_dir) if use_cache else None
+    registry = obs_runtime.get_registry()
+    emit = progress or (lambda line: None)
+
+    planned = [_plan_experiment(get_spec(key), seed, fingerprint) for key in ordered_ids]
+
+    # Cache probe: hits load immediately, misses queue for execution.
+    results: Dict[str, Tuple[Any, float]] = {}  # key -> (result, wall_s)
+    errors: Dict[str, str] = {}  # key -> error text
+    hits: Dict[str, bool] = {}
+    pending: List[Tuple[int, TaskSpec, str]] = []  # (rank, task, key)
+    for plan in planned:
+        rank = _runtime_rank(plan.spec)
+        for task, key in zip(plan.tasks, plan.keys):
+            hit = False
+            if cache is not None:
+                hit, value = cache.get(key)
+                if hit:
+                    results[key] = (value, 0.0)
+                    registry.counter("runner.cache.hits").inc()
+            hits[key] = hit
+            if not hit:
+                registry.counter("runner.cache.misses").inc()
+                pending.append((rank, task, key))
+
+    # Longest-processing-time-first: slow experiments enter the pool first
+    # so the run's tail is not one straggler on an otherwise idle pool.
+    pending.sort(key=lambda item: -item[0])
+    total_tasks = len(pending)
+    effective_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    effective_jobs = max(1, min(effective_jobs, max(total_tasks, 1)))
+
+    def _record(task: TaskSpec, key: str, outcome: Tuple[Any, float], done: int) -> None:
+        result, wall_s = outcome
+        results[key] = (result, wall_s)
+        registry.histogram(
+            "runner.part.wall_s", experiment=task.experiment_id
+        ).observe(wall_s)
+        registry.counter("runner.parts.executed").inc()
+        emit(
+            f"[task {done}/{total_tasks}] {task.experiment_id}:{task.part} "
+            f"{wall_s:.2f}s"
+        )
+        if cache is not None:
+            cache.put(
+                key,
+                result,
+                meta={
+                    "experiment": task.experiment_id,
+                    "part": task.part,
+                    "target": task.target,
+                    "seed": task.seed,
+                    "duration_s": round(wall_s, 6),
+                },
+            )
+
+    if effective_jobs == 1:
+        for done, (_, task, key) in enumerate(pending, start=1):
+            try:
+                _record(task, key, execute_task(task), done)
+            except Exception as exc:
+                errors[key] = f"{type(exc).__name__}: {exc}"
+                emit(f"[task {done}/{total_tasks}] {task.experiment_id}:{task.part} FAILED: {exc}")
+    elif pending:
+        with ProcessPoolExecutor(max_workers=effective_jobs) as pool:
+            futures = {
+                pool.submit(execute_task, task): (task, key)
+                for _, task, key in pending
+            }
+            for done, future in enumerate(as_completed(futures), start=1):
+                task, key = futures[future]
+                try:
+                    _record(task, key, future.result(), done)
+                except Exception as exc:
+                    errors[key] = f"{type(exc).__name__}: {exc}"
+                    emit(
+                        f"[task {done}/{total_tasks}] "
+                        f"{task.experiment_id}:{task.part} FAILED: {exc}"
+                    )
+
+    # Merge parts, shape-check, and assemble the per-experiment records.
+    runs: List[ExperimentRun] = []
+    for index, plan in enumerate(planned, start=1):
+        parts = [
+            PartRun(
+                part=task.part,
+                key=key,
+                cache_hit=hits[key],
+                duration_s=results[key][1] if key in results else 0.0,
+            )
+            for task, key in zip(plan.tasks, plan.keys)
+        ]
+        run = ExperimentRun(
+            id=plan.spec.id,
+            runtime=plan.spec.runtime,
+            seed=plan.seed,
+            parts=parts,
+            duration_s=sum(p.duration_s for p in parts),
+            cache_hit=bool(parts) and all(p.cache_hit for p in parts),
+        )
+        failed = [
+            (task.part, errors[key])
+            for task, key in zip(plan.tasks, plan.keys)
+            if key in errors
+        ]
+        if plan.error is not None:
+            run.error = plan.error
+        elif failed:
+            run.error = "; ".join(f"{part}: {message}" for part, message in failed)
+        else:
+            part_results = [results[key][0] for key in plan.keys]
+            run.result = (
+                plan.merge(part_results) if plan.merge is not None else part_results[0]
+            )
+            run.result_sha256 = hashlib.sha256(
+                pickle.dumps(run.result, protocol=pickle.HIGHEST_PROTOCOL)
+            ).hexdigest()
+            run.shape_ok, run.shape_detail = _shape_check(plan.spec, run.result)
+        runs.append(run)
+        status = "ok" if run.ok else "FAIL"
+        source = "hit" if run.cache_hit else ("partial" if any(p.cache_hit for p in parts) else "run")
+        emit(
+            f"[{index}/{len(planned)}] {run.id:<7} {status:<4} cache={source:<7} "
+            f"{run.duration_s:7.2f}s  {run.error or run.shape_detail}"
+        )
+
+    wall_s = time.perf_counter() - started
+    registry.gauge("runner.run.wall_s").set(wall_s)
+    registry.gauge("runner.run.experiments").set(len(runs))
+    return RunAllResult(
+        runs=runs,
+        jobs=effective_jobs,
+        seed=seed,
+        cache_enabled=use_cache,
+        cache_dir=str(cache_dir) if use_cache else None,
+        code_fingerprint=fingerprint,
+        wall_s=wall_s,
+    )

@@ -1,0 +1,102 @@
+"""``run_manifest.json``: the machine-readable record of one run-all.
+
+One manifest per invocation, schema-versioned so downstream tooling can
+rely on its shape (``tests/test_runner_run_all.py`` pins the key set).
+Each ``experiments[]`` entry corresponds to one row of EXPERIMENTS.md's
+summary table — ``id`` here is the lowercase form of that table's "Exp."
+column (``fig6a`` ↔ "Fig 6a", ``sec8a`` ↔ "§8(a)", ``table1`` ↔
+"Table 1") — so a manifest diff answers "which paper artifacts changed
+and why" directly.
+
+The ``result_sha256`` field hashes the pickled merged result object: two
+runs regenerated the same artifact if and only if the hashes match, which
+is how the parallel-equals-sequential guarantee is audited in practice.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict
+
+from repro.runner.core import RunAllResult
+
+#: Bump on any breaking change to the manifest layout.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Default output filename.
+MANIFEST_FILENAME = "run_manifest.json"
+
+#: Required keys of every ``experiments[]`` entry (schema contract).
+EXPERIMENT_KEYS = (
+    "id",
+    "runtime_class",
+    "seed",
+    "cache_hit",
+    "duration_s",
+    "shape_ok",
+    "shape_detail",
+    "result_sha256",
+    "error",
+    "parts",
+)
+
+#: Required keys of every ``parts[]`` entry.
+PART_KEYS = ("part", "key", "cache_hit", "duration_s")
+
+
+def build_manifest(run: RunAllResult) -> Dict[str, Any]:
+    """Render a :class:`~repro.runner.core.RunAllResult` as manifest data."""
+    experiments = []
+    for record in run.runs:
+        experiments.append(
+            {
+                "id": record.id,
+                "runtime_class": record.runtime,
+                "seed": record.seed,
+                "cache_hit": record.cache_hit,
+                "duration_s": round(record.duration_s, 6),
+                "shape_ok": record.shape_ok,
+                "shape_detail": record.shape_detail,
+                "result_sha256": record.result_sha256,
+                "error": record.error,
+                "parts": [
+                    {
+                        "part": part.part,
+                        "key": part.key,
+                        "cache_hit": part.cache_hit,
+                        "duration_s": round(part.duration_s, 6),
+                    }
+                    for part in record.parts
+                ],
+            }
+        )
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "generated_unix_s": round(time.time(), 3),
+        "jobs": run.jobs,
+        "seed": run.seed,
+        "code_fingerprint": run.code_fingerprint,
+        "cache": {
+            "enabled": run.cache_enabled,
+            "dir": run.cache_dir,
+            "experiments_hit": run.cache_hits,
+        },
+        "totals": {
+            "experiments": len(run.runs),
+            "ok": sum(1 for record in run.runs if record.ok),
+            "failed": sum(1 for record in run.runs if not record.ok),
+            "cache_hits": run.cache_hits,
+            "wall_s": round(run.wall_s, 3),
+        },
+        "experiments": experiments,
+    }
+
+
+def write_manifest(run: RunAllResult, path: str = MANIFEST_FILENAME) -> Dict[str, Any]:
+    """Build the manifest, write it as pretty JSON, and return it."""
+    manifest = build_manifest(run)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return manifest

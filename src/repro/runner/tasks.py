@@ -1,0 +1,58 @@
+"""Task model: the unit of work the runner schedules, caches, and executes.
+
+A :class:`TaskSpec` is one driver call — either a whole experiment
+(``part="all"``) or one slice of a sweep decomposition
+(:mod:`repro.experiments.sweeps`). Specs are plain picklable data so they
+cross the ``ProcessPoolExecutor`` boundary; :func:`execute_task` is the
+module-level worker entry point (bound methods and closures cannot be
+submitted to a process pool).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.registry import resolve_target
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable driver call.
+
+    Attributes
+    ----------
+    experiment_id:
+        Canonical registry id this task contributes to.
+    part:
+        ``"all"`` for a monolithic run, else the sweep part name
+        (``"threshold=1"``, ``"home=3"``...).
+    target:
+        ``"module:callable"`` driver reference.
+    kwargs:
+        Complete keyword arguments (the seed, when the driver takes one,
+        is already baked in by the planner or sweep factory).
+    seed:
+        The run's seed, recorded for the manifest; ``None`` when the
+        driver is pure-analytic and takes no seed.
+    """
+
+    experiment_id: str
+    part: str
+    target: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+
+def execute_task(spec: TaskSpec) -> Tuple[Any, float]:
+    """Run one task; returns ``(result, wall_s)``.
+
+    Runs in a worker process for parallel plans and in the parent for
+    ``--jobs 1``; both paths call the exact same driver with the exact same
+    kwargs, which is what makes the two modes byte-identical.
+    """
+    driver = resolve_target(spec.target)
+    started = time.perf_counter()
+    result = driver(**spec.kwargs)
+    return result, time.perf_counter() - started

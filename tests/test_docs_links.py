@@ -1,0 +1,39 @@
+"""Every intra-repo markdown link must resolve (mirrors the CI docs job)."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_md_links  # noqa: E402
+
+
+def test_all_repo_markdown_links_resolve():
+    files = check_md_links.default_files(ROOT)
+    assert any(path.name == "README.md" for path in files)
+    assert any(path.name == "running.md" for path in files)
+    problems = check_md_links.broken_links(files)
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_sees_a_real_link_population():
+    files = check_md_links.default_files(ROOT)
+    links = sum(1 for path in files for _ in check_md_links.iter_links(path))
+    assert links >= 10, "link checker is scanning too little to be meaningful"
+
+
+def test_checker_catches_a_broken_link(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("see [missing](does_not_exist.md) and [ok](page.md)\n")
+    problems = check_md_links.broken_links([page])
+    assert len(problems) == 1 and "does_not_exist.md" in problems[0]
+
+
+def test_checker_skips_code_blocks_and_external_links(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[ext](https://example.com) [anchor](#section)\n"
+        "```\n[fake](inside_code_block.md)\n```\n"
+    )
+    assert check_md_links.broken_links([page]) == []

@@ -15,8 +15,10 @@ import repro.mac80211.airtime
 import repro.mac80211.channels
 import repro.mac80211.ht
 import repro.mac80211.rates
+import repro.obs.metrics
 import repro.packets.bytesutil
 import repro.rf.propagation
+import repro.runner.cache
 import repro.sim.engine
 import repro.sim.rng
 import repro.units
@@ -30,8 +32,10 @@ MODULES = [
     repro.mac80211.channels,
     repro.mac80211.ht,
     repro.mac80211.rates,
+    repro.obs.metrics,
     repro.packets.bytesutil,
     repro.rf.propagation,
+    repro.runner.cache,
     repro.sim.engine,
     repro.sim.rng,
     repro.units,

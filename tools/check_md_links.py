@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve to real files.
+
+Scans the given markdown files (default: every ``*.md`` at the repo root
+plus ``docs/*.md``) for inline links ``[text](target)`` and verifies each
+relative target exists on disk, fragment stripped. External links
+(``http://``, ``https://``, ``mailto:``) and pure-fragment anchors are
+skipped, as are links inside fenced code blocks.
+
+Used by the CI ``docs`` job and ``tests/test_docs_links.py``::
+
+    python tools/check_md_links.py            # default file set
+    python tools/check_md_links.py README.md docs/running.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown link: [text](target). Targets never contain spaces here.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced code block delimiter.
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+#: Link schemes that are not filesystem paths.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def repo_root() -> Path:
+    """The repository root (this script lives in ``<root>/tools/``)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_files(root: Path) -> List[Path]:
+    """The markdown set the docs CI job guards."""
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [path for path in files if path.is_file()]
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every checkable link in a file."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            yield number, target
+
+
+def broken_links(files: Iterable[Path]) -> List[str]:
+    """``"file:line: target"`` for every link whose file does not exist."""
+    problems = []
+    for path in files:
+        for number, target in iter_links(path):
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}:{number}: broken link -> {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = repo_root()
+    files = [Path(arg) for arg in argv] if argv else default_files(root)
+    missing = [str(path) for path in files if not path.is_file()]
+    if missing:
+        print("no such file(s): " + ", ".join(missing), file=sys.stderr)
+        return 2
+    problems = broken_links(files)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = sum(1 for path in files for _ in iter_links(path))
+    print(f"checked {checked} links across {len(files)} files: "
+          f"{len(problems)} broken")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
