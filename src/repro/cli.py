@@ -10,6 +10,9 @@ Usage::
     python -m repro quickstart --duration 2.0
     python -m repro metrics fig07        # run + export metrics JSONL
     python -m repro trace fig07 --kinds mac.tx,core.gate_drop
+    python -m repro spans fig05          # run + span JSONL + flame-style tree
+    python -m repro spans --input run_spans.jsonl
+    python -m repro compare old_manifest.json run_manifest.json
     python -m repro fig5 --no-obs        # instrumentation off
     python -m repro lint src/repro       # determinism/unit static analysis
 
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 from typing import Callable, Dict, List, Optional
@@ -218,6 +222,12 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
     The full workflow (cache semantics, ``--jobs`` guidance, manifest
     layout) is documented in ``docs/running.md``.
     """
+    from repro.obs.history import (
+        DEFAULT_HISTORY_DIR,
+        append_history,
+        build_history_record,
+        write_bench_snapshot,
+    )
     from repro.runner import DEFAULT_CACHE_DIR, ResultCache, run_all, write_manifest
 
     parser = argparse.ArgumentParser(
@@ -257,8 +267,23 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
         default="run_manifest.json",
         help="manifest output path (default: run_manifest.json)",
     )
+    parser.add_argument(
+        "--span-detail",
+        action="store_true",
+        help="also record hot-path spans (per-transmission mac80211)",
+    )
+    parser.add_argument(
+        "--history-dir",
+        default=DEFAULT_HISTORY_DIR,
+        help=f"perf-history directory (default: {DEFAULT_HISTORY_DIR})",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the perf_history.jsonl append and BENCH snapshot",
+    )
     args = parser.parse_args(argv)
-    obs_runtime.configure(enabled=not no_obs)
+    obs_runtime.configure(enabled=not no_obs, span_detail=args.span_detail)
 
     ids = None
     if args.ids is not None:
@@ -286,6 +311,26 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
         f"(jobs={result.jobs})"
     )
     print(f"manifest: {args.report}")
+
+    # Sidecar telemetry next to the manifest: the span tree and the
+    # parent-process metrics snapshot (worker snapshots are summarised
+    # inside the manifest's parts[] entries).
+    report_dir = os.path.dirname(os.path.abspath(args.report))
+    spans_path = os.path.join(report_dir, "run_spans.jsonl")
+    metrics_path = os.path.join(report_dir, "run_metrics.jsonl")
+    if not no_obs:
+        with open(spans_path, "w", encoding="utf-8") as handle:
+            for record in result.spans:
+                handle.write(json.dumps(record) + "\n")
+        obs_runtime.get_registry().to_jsonl(metrics_path)
+        print(f"spans: {spans_path} ({len(result.spans)} records)")
+        print(f"metrics: {metrics_path}")
+
+    if not args.no_history:
+        record = build_history_record(manifest)
+        history_path = append_history(record, args.history_dir)
+        bench_path = write_bench_snapshot(record, args.history_dir)
+        print(f"history: {history_path} (+1 record), {bench_path}")
     return 0 if result.ok else 1
 
 
@@ -370,6 +415,133 @@ def _cmd_trace(argv: List[str], no_obs: bool) -> int:
     return 0
 
 
+def _cmd_spans(argv: List[str], no_obs: bool) -> int:
+    """``repro spans``: run an experiment (or load a JSONL export) and
+    render the span tree; see ``docs/observability.md`` for the schema."""
+    from repro.obs.metrics import Histogram
+    from repro.obs.spans import render_span_tree
+
+    parser = argparse.ArgumentParser(
+        prog="repro spans",
+        description="Run one experiment and render its hierarchical span "
+        "trace as a flame-style tree (or render an existing spans JSONL).",
+    )
+    parser.add_argument(
+        "experiment", nargs="?", default=None, help="experiment id (see 'list')"
+    )
+    parser.add_argument(
+        "--input", default=None, help="render an existing spans JSONL instead"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--output", default=None, help="JSONL path (default: spans_<id>.jsonl)"
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=None, help="truncate the tree below this depth"
+    )
+    parser.add_argument(
+        "--detail",
+        action="store_true",
+        help="also record hot-path spans (per-transmission mac80211)",
+    )
+    args = parser.parse_args(argv)
+    if (args.experiment is None) == (args.input is None):
+        print("spans: give exactly one of <experiment> or --input", file=sys.stderr)
+        return 2
+
+    if args.input is not None:
+        try:
+            with open(args.input, encoding="utf-8") as handle:
+                records = [json.loads(line) for line in handle if line.strip()]
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"spans: cannot read {args.input}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if no_obs:
+            print("span tracing requires observability; drop --no-obs", file=sys.stderr)
+            return 2
+        key = _resolve_experiment(args.experiment)
+        if key is None:
+            return 2
+        obs_runtime.configure(enabled=True, span_detail=args.detail)
+        with obs_runtime.span("cli.spans.run", experiment=key, seed=args.seed):
+            _run_driver(key, args.seed)
+        recorder = obs_runtime.get_spans()
+        output = args.output or f"spans_{key}.jsonl"
+        count = recorder.to_jsonl(output)
+        records = recorder.to_records()
+        print(f"== {key} spans ==")
+        print(f"wrote {count} records to {output}")
+        if recorder.dropped:
+            print(f"note: {recorder.dropped} spans beyond the retention cap")
+
+    print(render_span_tree(records, max_depth=args.max_depth))
+    walls = Histogram("cli.spans.wall_s", ())
+    for record in records:
+        if record.get("wall_s") is not None:
+            walls.observe(record["wall_s"])
+    if walls.count:
+        print(
+            f"{walls.count} closed spans: p50 {walls.percentile(50.0):.4f}s, "
+            f"p95 {walls.percentile(95.0):.4f}s, max {walls.max:.4f}s"
+        )
+    return 0
+
+
+def _cmd_compare(argv: List[str]) -> int:
+    """``repro compare a b``: diff two manifests/history records.
+
+    Exit codes: 0 clean, 1 regression or determinism drift, 2 bad input —
+    designed to gate CI (see ``docs/observability.md``).
+    """
+    from repro.errors import ObservabilityError
+    from repro.obs.compare import (
+        DEFAULT_MIN_WALL_S,
+        DEFAULT_WALL_THRESHOLD,
+        compare_runs,
+        load_run,
+        render_compare,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro compare",
+        description="Diff two run manifests / perf-history records: "
+        "wall-clock regressions, metric deltas, determinism drift.",
+    )
+    parser.add_argument("base", help="baseline manifest/BENCH json or history jsonl")
+    parser.add_argument("new", help="candidate manifest/BENCH json or history jsonl")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_WALL_THRESHOLD,
+        help=f"relative wall-clock regression threshold (default {DEFAULT_WALL_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--min-wall",
+        type=float,
+        default=DEFAULT_MIN_WALL_S,
+        help=f"ignore wall deltas when both runs are under this (default {DEFAULT_MIN_WALL_S}s)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the raw report as JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        base = load_run(args.base)
+        new = load_run(args.new)
+        report = compare_runs(
+            base, new, wall_threshold=args.threshold, min_wall_s=args.min_wall
+        )
+    except (OSError, ObservabilityError, json.JSONDecodeError, KeyError) as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_compare(report))
+    return 1 if report["regressed"] else 0
+
+
 def main(argv: List[str] = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -384,6 +556,10 @@ def main(argv: List[str] = None) -> int:
         return _cmd_metrics(argv[1:], no_obs)
     if argv and argv[0] == "trace":
         return _cmd_trace(argv[1:], no_obs)
+    if argv and argv[0] == "spans":
+        return _cmd_spans(argv[1:], no_obs)
+    if argv and argv[0] == "compare":
+        return _cmd_compare(argv[1:])
     if argv and argv[0] == "lint":
         # Dispatched before experiment parsing so the subcommand name can
         # never collide with an experiment id (see docs/lint.md).

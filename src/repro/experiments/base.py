@@ -14,6 +14,7 @@ from repro.core.config import InjectorConfig, Scheme
 from repro.core.router import PoWiFiRouter, RouterConfig
 from repro.mac80211.medium import Medium
 from repro.mac80211.station import Station
+from repro.obs import runtime as obs_runtime
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.workloads.office import OfficeBackground
@@ -67,32 +68,35 @@ def build_testbed(
     equal_share_rate_mbps:
         For :attr:`Scheme.EQUAL_SHARE`.
     """
-    sim = Simulator()
-    streams = RandomStreams(seed)
-    media = {ch: Medium(sim, channel=ch) for ch in channels}
-    config = RouterConfig(
-        scheme=scheme,
-        channels=channels,
-        client_channel=channels[0],
-        injector_override=injector_override,
-        equal_share_rate_mbps=equal_share_rate_mbps,
-    )
-    router = PoWiFiRouter(sim, media, streams, config)
-    client = Station(sim, name="client", streams=streams)
-    media[channels[0]].attach(client)
-    office = None
-    if office_occupancy:
-        office = OfficeBackground(
-            sim, media, streams, {ch: office_occupancy for ch in channels}
+    with obs_runtime.span(
+        "experiments.base.build_testbed", scheme=scheme.value, seed=seed
+    ):
+        sim = Simulator()
+        streams = RandomStreams(seed)
+        media = {ch: Medium(sim, channel=ch) for ch in channels}
+        config = RouterConfig(
+            scheme=scheme,
+            channels=channels,
+            client_channel=channels[0],
+            injector_override=injector_override,
+            equal_share_rate_mbps=equal_share_rate_mbps,
         )
-    return Testbed(
-        sim=sim,
-        streams=streams,
-        media=media,
-        router=router,
-        client=client,
-        office=office,
-    )
+        router = PoWiFiRouter(sim, media, streams, config)
+        client = Station(sim, name="client", streams=streams)
+        media[channels[0]].attach(client)
+        office = None
+        if office_occupancy:
+            office = OfficeBackground(
+                sim, media, streams, {ch: office_occupancy for ch in channels}
+            )
+        return Testbed(
+            sim=sim,
+            streams=streams,
+            media=media,
+            router=router,
+            client=client,
+            office=office,
+        )
 
 
 #: The §4.1 scheme set, in the order Fig 6's legends list them.

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import InjectorConfig, Scheme
 from repro.experiments.base import build_testbed
+from repro.obs import runtime as obs_runtime
 
 #: The paper's threshold sweep.
 DEFAULT_THRESHOLDS: Tuple[int, ...] = (1, 5, 50, 100)
@@ -75,9 +76,12 @@ def run_fig05(
     for threshold in thresholds:
         curve: List[Tuple[float, float]] = []
         for delay in delays_us:
-            occupancy = measure_occupancy(
-                delay, threshold, duration_s=duration_s, seed=seed
-            )
+            with obs_runtime.span(
+                "experiments.fig5.point", threshold=int(threshold), delay_us=delay
+            ):
+                occupancy = measure_occupancy(
+                    delay, threshold, duration_s=duration_s, seed=seed
+                )
             curve.append((delay, occupancy))
         result.curves[int(threshold)] = curve
     return result

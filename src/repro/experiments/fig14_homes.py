@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.occupancy import OccupancySeries
+from repro.obs import runtime as obs_runtime
 from repro.sim.rng import RandomStreams
 from repro.workloads.homes import HOME_DEPLOYMENTS, HomeDeployment, HomeProfile
 
@@ -51,18 +52,21 @@ def run_home(
     window_s: float = 60.0,
 ) -> HomeRunResult:
     """Generate one home's deployment log."""
-    deployment = HomeDeployment(
-        profile,
-        streams=RandomStreams(seed),
-        window_s=window_s,
-        duration_s=duration_s,
-    )
-    deployment.run()
-    return HomeRunResult(
-        profile=profile,
-        per_channel=deployment.occupancy_series(),
-        cumulative=deployment.cumulative_occupancy_series(),
-    )
+    with obs_runtime.span(
+        "experiments.fig14.home", home=profile.index, seed=seed
+    ):
+        deployment = HomeDeployment(
+            profile,
+            streams=RandomStreams(seed),
+            window_s=window_s,
+            duration_s=duration_s,
+        )
+        deployment.run()
+        return HomeRunResult(
+            profile=profile,
+            per_channel=deployment.occupancy_series(),
+            cumulative=deployment.cumulative_occupancy_series(),
+        )
 
 
 def run_fig14(

@@ -450,38 +450,55 @@ _METRIC_METHODS: FrozenSet[str] = frozenset(
     {"counter", "gauge", "histogram", "timeseries"}
 )
 
+#: Span-recorder entry points (``spans.begin(...)``, ``spans.span(...)``,
+#: ``runtime.span(...)``): same literal-name contract as metrics.
+_SPAN_METHODS: FrozenSet[str] = frozenset({"begin", "span"})
+
 #: ``layer.component.metric`` — at least two dotted lowercase segments.
 _METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 
 
 @register
 class MetricNameRule(Rule):
-    """PW006: metric names are greppable dotted-lowercase literals.
+    """PW006: metric and span names are greppable dotted-lowercase literals.
 
     The PR-1 observability contract: a metric mentioned in a dashboard or
-    doc must be findable with ``grep -r "mac.medium.collisions" src``.
-    Computed names (f-strings, variables) break that; dynamic dimensions
-    belong in labels, not the name.
+    doc must be findable with ``grep -r "mac.medium.collisions" src`` —
+    and since the span-tracing PR, a span name (``sim.engine.run``) must be
+    findable the same way. Computed names (f-strings, variables) break
+    that; dynamic dimensions belong in labels, not the name.
     """
 
     code = "PW006"
     name = "metric-name-literal"
-    description = "obs metric name is not a dotted-lowercase string literal"
+    description = "obs metric/span name is not a dotted-lowercase string literal"
     node_types = (ast.Call,)
 
     def applies(self, ctx: FileContext) -> bool:
-        # The registry itself passes validated names through variables.
-        return ctx.module != "repro.obs.metrics"
+        # The registry/recorder themselves pass validated names through
+        # variables.
+        return ctx.module not in ("repro.obs.metrics", "repro.obs.spans")
 
     def visit(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
         assert isinstance(node, ast.Call)
         func = node.func
-        if not isinstance(func, ast.Attribute) or func.attr not in _METRIC_METHODS:
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _METRIC_METHODS:
+            noun = "metric"
+        elif func.attr in _SPAN_METHODS:
+            noun = "span"
+        else:
             return
         if not node.args:
             return
         name_arg = node.args[0]
         if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+            # ``.span(...)``/``.begin(...)`` are common method names on
+            # non-obs objects; only string-literal first arguments are
+            # checked for spans, so foreign calls never false-positive.
+            if noun == "span":
+                return
             yield self.finding(
                 ctx,
                 name_arg,
@@ -493,6 +510,6 @@ class MetricNameRule(Rule):
             yield self.finding(
                 ctx,
                 name_arg,
-                f"metric name {name_arg.value!r} is not dotted-lowercase "
-                "(layer.component.metric)",
+                f"{noun} name {name_arg.value!r} is not dotted-lowercase "
+                f"(layer.component.{'operation' if noun == 'span' else 'metric'})",
             )

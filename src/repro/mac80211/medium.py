@@ -227,9 +227,20 @@ class Medium:
         )
         for observer in self._observers:
             observer(record)
+        # Detail-gated hot-path span: one per busy period, ended by the
+        # tx_done callback (non-LIFO close — overlapping channels interleave).
+        spans = self.sim.spans
+        busy_span = None
+        if spans.detail:
+            busy_span = spans.begin(
+                "mac.medium.busy",
+                sim_start_s=start,
+                channel=self.channel,
+                collided=collided,
+            )
         self.sim.schedule(
             duration, self._finish_transmission, pairs, collided, success,
-            name="tx_done",
+            busy_span, name="tx_done",
         )
 
     def _finish_transmission(
@@ -237,7 +248,10 @@ class Medium:
         pairs: Sequence[Tuple["Station", FrameJob]],
         collided: bool,
         success: bool,
+        busy_span=None,
     ) -> None:
+        if busy_span is not None:
+            self.sim.spans.end(busy_span, sim_end_s=self.sim.now)
         for station, frame in pairs:
             station.finish_transmission(frame, success=(success and not collided))
         self.notify_ready()

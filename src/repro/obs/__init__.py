@@ -16,7 +16,15 @@ Typical use::
 
 from __future__ import annotations
 
+from repro.obs.compare import compare_runs, load_run, render_compare
 from repro.obs.energy import EnergyLedger
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    build_history_record,
+    load_history,
+    write_bench_snapshot,
+)
 from repro.obs.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -26,6 +34,13 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     Timeseries,
 )
+from repro.obs.spans import (
+    NULL_SPANS,
+    SPAN_SCHEMA_VERSION,
+    Span,
+    SpanRecorder,
+    render_span_tree,
+)
 from repro.obs import runtime
 
 __all__ = [
@@ -33,9 +48,22 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "EnergyLedger",
     "Gauge",
+    "HISTORY_SCHEMA_VERSION",
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "NULL_SPANS",
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "SpanRecorder",
     "Timeseries",
+    "append_history",
+    "build_history_record",
+    "compare_runs",
+    "load_history",
+    "load_run",
+    "render_compare",
+    "render_span_tree",
     "runtime",
+    "write_bench_snapshot",
 ]

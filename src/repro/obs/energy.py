@@ -14,6 +14,12 @@ from typing import Optional
 from repro.errors import ObservabilityError
 from repro.obs.metrics import MetricsRegistry
 
+#: Round-off tolerance for energy flows: fixed-step integrators produce
+#: tiny negative drains (order 1e-18 J) when power crosses zero within a
+#: step; magnitudes inside this band clamp to zero, anything larger is a
+#: genuine sign error and still raises.
+NEGATIVE_FLOW_CLAMP_J = 1e-12
+
 
 class EnergyLedger:
     """µJ-in / µJ-out bookkeeping plus a storage-voltage timeseries.
@@ -49,11 +55,24 @@ class EnergyLedger:
 
     # ---------------------------------------------------------------- flows
 
+    @staticmethod
+    def _clamp_flow(joules: float, direction: str) -> float:
+        """Clamp round-off-scale negative flows to zero; reject real ones.
+
+        A zero-duration integration step legitimately contributes 0 J, and
+        floating-point drain arithmetic can land a hair below zero; both
+        become exact zeros. Negative flows beyond
+        :data:`NEGATIVE_FLOW_CLAMP_J` indicate a wiring bug and raise.
+        """
+        if joules >= 0:
+            return joules
+        if joules >= -NEGATIVE_FLOW_CLAMP_J:
+            return 0.0
+        raise ObservabilityError(f"cannot {direction} negative energy {joules}")
+
     def deposit(self, time_s: float, joules: float) -> None:
         """Record harvested energy entering storage."""
-        if joules < 0:
-            raise ObservabilityError(f"cannot deposit negative energy {joules}")
-        self._in.inc(1e6 * joules)
+        self._in.inc(1e6 * self._clamp_flow(joules, "deposit"))
 
     def withdraw(
         self,
@@ -63,9 +82,7 @@ class EnergyLedger:
         operations: float = 1.0,
     ) -> None:
         """Record energy leaving storage (``operations`` operations by default)."""
-        if joules < 0:
-            raise ObservabilityError(f"cannot withdraw negative energy {joules}")
-        self._out.inc(1e6 * joules)
+        self._out.inc(1e6 * self._clamp_flow(joules, "withdraw"))
         if operation:
             self._operations.inc(operations)
 
@@ -106,3 +123,11 @@ class EnergyLedger:
         """Most recent sampled voltage, or None."""
         last = self._voltage.last
         return None if last is None else last[1]
+
+    def voltage_rate_v_per_s(self) -> float:
+        """Average storage-voltage ramp over the sampled window (V/s).
+
+        Delegates to :meth:`repro.obs.metrics.Timeseries.rate`: 0.0 with
+        fewer than two retained samples or a zero-duration window.
+        """
+        return self._voltage.rate()

@@ -1,0 +1,151 @@
+"""Longitudinal performance memory: ``perf_history.jsonl`` and BENCH files.
+
+The paper's evaluation is longitudinal — occupancy traces and per-home
+deployments recorded over days — and this module gives the reproduction the
+same property for its own runs. Every ``run-all`` appends one schema-
+versioned record (per-experiment wall clock, events dispatched, heap
+high-water, cache hit/miss counts, result hashes) to
+``benchmarks/results/perf_history.jsonl`` and snapshots the same record as
+``BENCH_<date>.json``, so "what got slower since last month" is a query over
+committed JSONL rather than archaeology.
+
+Records are derived purely from the run manifest
+(:mod:`repro.runner.manifest`), so a history entry can also be rebuilt from
+any archived manifest. ``python -m repro compare`` (:mod:`repro.obs.compare`)
+consumes both shapes interchangeably.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ObservabilityError
+
+#: Bump on any breaking change to the history record layout.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default location the BENCH trajectory accumulates in.
+DEFAULT_HISTORY_DIR = "benchmarks/results"
+
+#: Filename of the append-only record stream.
+HISTORY_FILENAME = "perf_history.jsonl"
+
+
+def _experiment_entry(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """One manifest ``experiments[]`` entry -> one compact history entry."""
+    engine_dispatched = 0
+    heap_high_watermark = 0
+    for part in entry.get("parts", []):
+        engine = part.get("engine") or {}
+        engine_dispatched += int(engine.get("dispatched", 0))
+        heap_high_watermark = max(
+            heap_high_watermark, int(engine.get("heap_high_watermark", 0))
+        )
+    return {
+        "wall_s": entry.get("duration_s", 0.0),
+        "ok": entry.get("error") is None and entry.get("shape_ok") is not False,
+        "cache_hit": bool(entry.get("cache_hit")),
+        "result_sha256": entry.get("result_sha256", ""),
+        "events_dispatched": engine_dispatched,
+        "heap_high_watermark": heap_high_watermark,
+    }
+
+
+def build_history_record(
+    manifest: Dict[str, Any],
+    recorded_unix_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Render one run manifest as a perf-history record.
+
+    ``recorded_unix_s`` defaults to the manifest's own generation stamp, so
+    a record rebuilt from an archived manifest dates itself correctly.
+    """
+    if "experiments" not in manifest:
+        raise ObservabilityError(
+            "cannot build a history record: manifest has no experiments[]"
+        )
+    recorded = (
+        manifest.get("generated_unix_s", 0.0)
+        if recorded_unix_s is None
+        else recorded_unix_s
+    )
+    experiments = {
+        entry["id"]: _experiment_entry(entry) for entry in manifest["experiments"]
+    }
+    totals = dict(manifest.get("totals", {}))
+    totals["events_dispatched"] = sum(
+        e["events_dispatched"] for e in experiments.values()
+    )
+    totals["heap_high_watermark"] = max(
+        (e["heap_high_watermark"] for e in experiments.values()), default=0
+    )
+    cache = manifest.get("cache", {})
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "kind": "perf_history",
+        "recorded_unix_s": round(float(recorded), 3),
+        "date": time.strftime("%Y-%m-%d", time.gmtime(recorded)),
+        "seed": manifest.get("seed"),
+        "jobs": manifest.get("jobs"),
+        "code_fingerprint": manifest.get("code_fingerprint", ""),
+        "cache_enabled": bool(cache.get("enabled")),
+        "totals": totals,
+        "experiments": experiments,
+    }
+
+
+def append_history(
+    record: Dict[str, Any],
+    directory: Union[str, Path] = DEFAULT_HISTORY_DIR,
+) -> Path:
+    """Append one record to ``<directory>/perf_history.jsonl``.
+
+    Creates the directory (and file) on first use; returns the file path.
+    """
+    path = Path(directory) / HISTORY_FILENAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def write_bench_snapshot(
+    record: Dict[str, Any],
+    directory: Union[str, Path] = DEFAULT_HISTORY_DIR,
+) -> Path:
+    """Write the record as ``BENCH_<date>.json`` (same-day runs overwrite).
+
+    The dated snapshot is the human-browsable point on the BENCH
+    trajectory; the JSONL stream is the machine-diffable one.
+    """
+    path = Path(directory) / f"BENCH_{record['date']}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read every record of a ``perf_history.jsonl`` stream, oldest first.
+
+    Blank lines are tolerated (interrupted appends never corrupt earlier
+    records); malformed lines raise
+    :class:`~repro.errors.ObservabilityError` naming the line number.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: malformed history record ({exc})"
+                ) from exc
+    return records

@@ -233,6 +233,22 @@ class Histogram(_Instrument):
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100]).
+
+        Convenience alias over :meth:`quantile` so consumers (the span
+        summary, ``repro compare`` tooling) never re-implement bucket math.
+
+        >>> h = Histogram("demo.wall_s", (), buckets=(1, 10))
+        >>> for value in range(1, 11):
+        ...     h.observe(float(value))
+        >>> h.percentile(50.0)
+        6.0
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
+        return self.quantile(q / 100.0)
+
     def to_record(self) -> Dict[str, Any]:
         record = self._base_record()
         record.update(
@@ -290,6 +306,26 @@ class Timeseries(_Instrument):
     def values(self) -> List[float]:
         """The sampled values in time order."""
         return [v for _, v in self.samples]
+
+    def rate(self) -> float:
+        """Average change per second across the sampled window.
+
+        ``(last - first) / (t_last - t_first)``; 0.0 with fewer than two
+        samples or a zero-width window (repeated-timestamp samples are
+        legal — simulation time may stand still across events).
+
+        >>> ts = Timeseries("demo.level", ())
+        >>> ts.sample(0.0, 1.0); ts.sample(4.0, 9.0)
+        >>> ts.rate()
+        2.0
+        """
+        if len(self.samples) < 2:
+            return 0.0
+        (t_first, v_first), (t_last, v_last) = self.samples[0], self.samples[-1]
+        window = t_last - t_first
+        if window <= 0.0:
+            return 0.0
+        return (v_last - v_first) / window
 
     def to_record(self) -> Dict[str, Any]:
         record = self._base_record()

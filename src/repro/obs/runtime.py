@@ -16,9 +16,11 @@ behaviour, so a plain module-global keeps the hot-path lookup trivial.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence
 
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_SPANS, Span, SpanRecorder
 
 #: Engine-stats retention bound: long pytest sessions create thousands of
 #: simulators; only the most recent window is kept for aggregation.
@@ -28,6 +30,7 @@ _enabled: bool = True
 _registry: MetricsRegistry = MetricsRegistry(enabled=True)
 _trace = None  # created lazily to avoid an import cycle with repro.sim
 _trace_kinds: Optional[Sequence[str]] = ()
+_spans: SpanRecorder = SpanRecorder(enabled=True)
 _sim_stats: Deque[Any] = deque(maxlen=MAX_TRACKED_SIMULATORS)
 
 
@@ -61,9 +64,34 @@ def get_trace():
     return _trace
 
 
+def get_spans() -> SpanRecorder:
+    """The process-wide span recorder (no-op recorder when disabled)."""
+    return _spans
+
+
+def null_spans() -> SpanRecorder:
+    """A shared always-disabled recorder for explicitly unobserved components."""
+    return NULL_SPANS
+
+
+@contextmanager
+def span(name: str, sim_start_s: Optional[float] = None, **labels) -> Iterator[Span]:
+    """Open a span on the process-wide recorder (see ``repro.obs.spans``).
+
+    The convenience entry point experiment drivers use::
+
+        with runtime.span("experiments.fig5.point", threshold=5):
+            ...
+    """
+    with _spans.span(name, sim_start_s=sim_start_s, **labels) as opened:
+        yield opened
+
+
 def configure(
     enabled: bool = True,
     trace_kinds: Optional[Sequence[str]] = (),
+    span_prefix: str = "s",
+    span_detail: bool = False,
 ) -> None:
     """Reset the observability state for a fresh run.
 
@@ -75,8 +103,15 @@ def configure(
     trace_kinds:
         Kinds the shared trace recorder keeps. ``()`` (the default) records
         nothing; ``None`` records every kind.
+    span_prefix:
+        Id prefix for spans recorded in this process. The parallel runner
+        hands each worker task a unique prefix so merged span ids never
+        collide.
+    span_detail:
+        Whether hot-path span sites (per-transmission mac80211 spans)
+        record; coarse spans always do.
     """
-    global _enabled, _registry, _trace, _trace_kinds
+    global _enabled, _registry, _trace, _trace_kinds, _spans
     from repro.sim.trace import TraceRecorder
 
     _enabled = bool(enabled)
@@ -85,11 +120,14 @@ def configure(
     _trace = TraceRecorder(
         enabled_kinds=None if trace_kinds is None else list(trace_kinds)
     )
+    _spans = SpanRecorder(
+        id_prefix=span_prefix, detail=span_detail, enabled=_enabled
+    )
     _sim_stats.clear()
 
 
 def reset() -> None:
-    """Fresh registry/trace/engine-stats keeping the current mode."""
+    """Fresh registry/trace/spans/engine-stats keeping the current mode."""
     configure(enabled=_enabled, trace_kinds=_trace_kinds)
 
 
@@ -103,19 +141,24 @@ def simulator_stats() -> List[Any]:
     return list(_sim_stats)
 
 
-def aggregate_engine_stats() -> Dict[str, Any]:
-    """Merge every tracked simulator's profile into one engine report.
+def aggregate_engine_stats(stats_list: Optional[Sequence[Any]] = None) -> Dict[str, Any]:
+    """Merge tracked simulators' profiles into one engine report.
 
-    Returns a JSON-safe dict with total dispatched/cancelled event counts,
-    the worst heap high-water mark, and per-callback-name dispatch counts
-    and cumulative wall-clock seconds summed across simulators.
+    Aggregates every tracked simulator by default; pass ``stats_list`` to
+    aggregate a slice (the runner uses this to attribute engine work to one
+    in-process task). Returns a JSON-safe dict with total
+    dispatched/cancelled event counts, the worst heap high-water mark, and
+    per-callback-name dispatch counts and cumulative wall-clock seconds
+    summed across simulators.
     """
+    if stats_list is None:
+        stats_list = list(_sim_stats)
     dispatched = 0
     cancelled = 0
     heap_high_watermark = 0
     counts: Dict[str, int] = {}
     seconds: Dict[str, float] = {}
-    for stats in _sim_stats:
+    for stats in stats_list:
         dispatched += stats.dispatched
         cancelled += stats.cancelled
         heap_high_watermark = max(heap_high_watermark, stats.heap_high_watermark)
@@ -125,7 +168,7 @@ def aggregate_engine_stats() -> Dict[str, Any]:
             seconds[name] = seconds.get(name, 0.0) + wall
     return {
         "type": "engine",
-        "simulators": len(_sim_stats),
+        "simulators": len(stats_list),
         "dispatched": dispatched,
         "cancelled": cancelled,
         "heap_high_watermark": heap_high_watermark,

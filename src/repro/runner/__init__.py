@@ -41,7 +41,7 @@ from repro.runner.manifest import (
     build_manifest,
     write_manifest,
 )
-from repro.runner.tasks import TaskSpec, execute_task
+from repro.runner.tasks import SpanContext, TaskOutcome, TaskSpec, execute_task
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -52,6 +52,8 @@ __all__ = [
     "PartRun",
     "ResultCache",
     "RunAllResult",
+    "SpanContext",
+    "TaskOutcome",
     "TaskSpec",
     "build_manifest",
     "cache_key",

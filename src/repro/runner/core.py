@@ -30,7 +30,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -48,7 +48,7 @@ from repro.runner.cache import (
     cache_key,
     code_fingerprint,
 )
-from repro.runner.tasks import TaskSpec, execute_task
+from repro.runner.tasks import SpanContext, TaskOutcome, TaskSpec, execute_task
 
 #: Progress callback type: receives one formatted line per event.
 ProgressFn = Callable[[str], None]
@@ -62,6 +62,13 @@ class PartRun:
     key: str
     cache_hit: bool
     duration_s: float
+    #: Engine profile attributed to this task: worker-local aggregate for
+    #: pool tasks, tracked-simulator delta for in-process tasks, ``{}`` for
+    #: cache hits.
+    engine: Dict[str, Any] = field(default_factory=dict)
+    #: The executing worker's full metrics snapshot (pool tasks only; the
+    #: parent's ambient registry already holds in-process telemetry).
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
 
 
 @dataclass
@@ -97,6 +104,9 @@ class RunAllResult:
     cache_dir: Optional[str]
     code_fingerprint: str
     wall_s: float = 0.0
+    #: Span records produced by this invocation (root ``runner.run_all``
+    #: plus everything recorded or adopted beneath it).
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def cache_hits(self) -> int:
@@ -253,7 +263,16 @@ def run_all(
     fingerprint = code_fingerprint()
     cache = ResultCache(cache_dir) if use_cache else None
     registry = obs_runtime.get_registry()
+    spans = obs_runtime.get_spans()
     emit = progress or (lambda line: None)
+
+    # Everything this invocation records nests under one root span; spans
+    # already present on the recorder (earlier runs in this process) are
+    # excluded from the returned records by id.
+    prior_ids = {record["span_id"] for record in spans.to_records()}
+    root_span = spans.begin(
+        "runner.run_all", experiments=len(ordered_ids), seed=seed
+    )
 
     planned = [_plan_experiment(get_spec(key), seed, fingerprint) for key in ordered_ids]
 
@@ -283,53 +302,87 @@ def run_all(
     effective_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     effective_jobs = max(1, min(effective_jobs, max(total_tasks, 1)))
 
-    def _record(task: TaskSpec, key: str, outcome: Tuple[Any, float], done: int) -> None:
-        result, wall_s = outcome
-        results[key] = (result, wall_s)
+    outcomes: Dict[str, TaskOutcome] = {}  # key -> executed-task telemetry
+
+    def _record(task: TaskSpec, key: str, outcome: TaskOutcome, done: int) -> None:
+        results[key] = (outcome.result, outcome.wall_s)
+        outcomes[key] = outcome
         registry.histogram(
             "runner.part.wall_s", experiment=task.experiment_id
-        ).observe(wall_s)
+        ).observe(outcome.wall_s)
         registry.counter("runner.parts.executed").inc()
         emit(
             f"[task {done}/{total_tasks}] {task.experiment_id}:{task.part} "
-            f"{wall_s:.2f}s"
+            f"{outcome.wall_s:.2f}s"
         )
         if cache is not None:
             cache.put(
                 key,
-                result,
+                outcome.result,
                 meta={
                     "experiment": task.experiment_id,
                     "part": task.part,
                     "target": task.target,
                     "seed": task.seed,
-                    "duration_s": round(wall_s, 6),
+                    "duration_s": round(outcome.wall_s, 6),
                 },
             )
 
     if effective_jobs == 1:
+        # In-process: the ambient recorders capture everything directly; the
+        # task span lives on the parent recorder and engine work is
+        # attributed per-task by diffing the tracked-simulator list.
         for done, (_, task, key) in enumerate(pending, start=1):
+            sims_before = len(obs_runtime.simulator_stats())
+            task_span = spans.begin(
+                "runner.task",
+                parent_id=root_span.span_id if spans.enabled else None,
+                experiment=task.experiment_id,
+                part=task.part,
+            )
             try:
-                _record(task, key, execute_task(task), done)
+                outcome = execute_task(task)
             except Exception as exc:
+                spans.end(task_span, status="error")
                 errors[key] = f"{type(exc).__name__}: {exc}"
                 emit(f"[task {done}/{total_tasks}] {task.experiment_id}:{task.part} FAILED: {exc}")
+                continue
+            spans.end(task_span)
+            outcome.engine = obs_runtime.aggregate_engine_stats(
+                obs_runtime.simulator_stats()[sims_before:]
+            )
+            _record(task, key, outcome, done)
     elif pending:
+        # Pool fan-out: each task ships a SpanContext so the worker process
+        # mirrors the parent's observability mode (workers re-import repro
+        # with default runtime state — satellite: --no-obs must propagate)
+        # and mints span ids under a collision-free per-task prefix.
         with ProcessPoolExecutor(max_workers=effective_jobs) as pool:
-            futures = {
-                pool.submit(execute_task, task): (task, key)
-                for _, task, key in pending
-            }
+            futures = {}
+            for index, (_, task, key) in enumerate(pending, start=1):
+                ctx = SpanContext(
+                    root_id=root_span.span_id if spans.enabled else None,
+                    prefix=f"t{index:02d}.",
+                    obs_enabled=obs_runtime.enabled(),
+                    span_detail=spans.detail,
+                )
+                futures[pool.submit(execute_task, replace(task, obs=ctx))] = (
+                    task,
+                    key,
+                )
             for done, future in enumerate(as_completed(futures), start=1):
                 task, key = futures[future]
                 try:
-                    _record(task, key, future.result(), done)
+                    outcome = future.result()
                 except Exception as exc:
                     errors[key] = f"{type(exc).__name__}: {exc}"
                     emit(
                         f"[task {done}/{total_tasks}] "
                         f"{task.experiment_id}:{task.part} FAILED: {exc}"
                     )
+                    continue
+                spans.adopt(outcome.spans)
+                _record(task, key, outcome, done)
 
     # Merge parts, shape-check, and assemble the per-experiment records.
     runs: List[ExperimentRun] = []
@@ -340,6 +393,8 @@ def run_all(
                 key=key,
                 cache_hit=hits[key],
                 duration_s=results[key][1] if key in results else 0.0,
+                engine=outcomes[key].engine if key in outcomes else {},
+                metrics=outcomes[key].metrics if key in outcomes else [],
             )
             for task, key in zip(plan.tasks, plan.keys)
         ]
@@ -380,6 +435,13 @@ def run_all(
     wall_s = time.perf_counter() - started
     registry.gauge("runner.run.wall_s").set(wall_s)
     registry.gauge("runner.run.experiments").set(len(runs))
+    ok_count = sum(1 for run in runs if run.ok)
+    spans.end(root_span, ok=ok_count, failed=len(runs) - ok_count)
+    run_spans = [
+        record
+        for record in spans.to_records()
+        if record["span_id"] not in prior_ids
+    ]
     return RunAllResult(
         runs=runs,
         jobs=effective_jobs,
@@ -388,4 +450,5 @@ def run_all(
         cache_dir=str(cache_dir) if use_cache else None,
         code_fingerprint=fingerprint,
         wall_s=wall_s,
+        spans=run_spans,
     )

@@ -17,12 +17,15 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict
+from typing import Any, Dict, List
 
+from repro.obs.spans import SPAN_SCHEMA_VERSION
 from repro.runner.core import RunAllResult
 
 #: Bump on any breaking change to the manifest layout.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 (span tracing PR): per-part ``engine``/``metrics`` summaries, a
+#: top-level ``spans`` section, and ``events_dispatched`` in totals.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Default output filename.
 MANIFEST_FILENAME = "run_manifest.json"
@@ -42,7 +45,37 @@ EXPERIMENT_KEYS = (
 )
 
 #: Required keys of every ``parts[]`` entry.
-PART_KEYS = ("part", "key", "cache_hit", "duration_s")
+PART_KEYS = ("part", "key", "cache_hit", "duration_s", "engine", "metrics")
+
+
+def _part_engine(engine: Dict[str, Any]) -> Dict[str, Any]:
+    """Compact per-part engine summary (callback breakdowns stay in spans
+    exports; the manifest carries the headline numbers)."""
+    return {
+        "simulators": int(engine.get("simulators", 0)),
+        "dispatched": int(engine.get("dispatched", 0)),
+        "cancelled": int(engine.get("cancelled", 0)),
+        "heap_high_watermark": int(engine.get("heap_high_watermark", 0)),
+    }
+
+
+def _part_metrics(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Surface a worker's metrics snapshot as a manifest-sized summary.
+
+    Counters are summed across label sets by name (the worker ran exactly
+    one task, so the totals are that task's); other instrument kinds are
+    only counted — their full records live in the ``run_metrics.jsonl``
+    sidecar, not the manifest.
+    """
+    counters: Dict[str, float] = {}
+    for record in records:
+        if record.get("type") == "counter":
+            name = record["name"]
+            counters[name] = counters.get(name, 0.0) + float(record.get("value", 0.0))
+    return {
+        "records": len(records),
+        "counter_totals": {name: counters[name] for name in sorted(counters)},
+    }
 
 
 def build_manifest(run: RunAllResult) -> Dict[str, Any]:
@@ -66,11 +99,16 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
                         "key": part.key,
                         "cache_hit": part.cache_hit,
                         "duration_s": round(part.duration_s, 6),
+                        "engine": _part_engine(part.engine),
+                        "metrics": _part_metrics(part.metrics),
                     }
                     for part in record.parts
                 ],
             }
         )
+    events_dispatched = sum(
+        part["engine"]["dispatched"] for entry in experiments for part in entry["parts"]
+    )
     return {
         "schema": MANIFEST_SCHEMA_VERSION,
         "generated_unix_s": round(time.time(), 3),
@@ -88,6 +126,12 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
             "failed": sum(1 for record in run.runs if not record.ok),
             "cache_hits": run.cache_hits,
             "wall_s": round(run.wall_s, 3),
+            "events_dispatched": events_dispatched,
+        },
+        "spans": {
+            "schema": SPAN_SCHEMA_VERSION,
+            "count": len(run.spans),
+            "records": run.spans,
         },
         "experiments": experiments,
     }

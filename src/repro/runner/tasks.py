@@ -6,15 +6,59 @@ A :class:`TaskSpec` is one driver call — either a whole experiment
 cross the ``ProcessPoolExecutor`` boundary; :func:`execute_task` is the
 module-level worker entry point (bound methods and closures cannot be
 submitted to a process pool).
+
+Telemetry crosses the pool boundary in both directions. Outbound, the
+parent attaches a :class:`SpanContext` — the root span id to graft under, a
+per-task span-id prefix, and the observability mode, which is how
+``--no-obs`` reaches workers (they re-import ``repro`` with default runtime
+state, so the parent's escape hatch would otherwise be silently lost).
+Inbound, :class:`TaskOutcome` carries the result plus the worker's finished
+span records, metrics snapshot, and engine profile for the parent to merge.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.experiments.registry import resolve_target
+from repro.obs import runtime as obs_runtime
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Observability context serialised into a pool worker.
+
+    Attributes
+    ----------
+    root_id:
+        Span id of the parent's ``runner.run_all`` root; the worker's task
+        span grafts under it so merged records form one tree.
+    prefix:
+        Span-id prefix unique to this task (``"t03."``), guaranteeing
+        worker-minted ids never collide with the parent's or each other's.
+    obs_enabled:
+        The parent's observability mode; ``False`` propagates ``--no-obs``.
+    span_detail:
+        Whether hot-path (per-transmission) span sites record in the worker.
+    """
+
+    root_id: Optional[str]
+    prefix: str
+    obs_enabled: bool = True
+    span_detail: bool = False
+
+
+@dataclass
+class TaskOutcome:
+    """Everything one executed task ships back to the parent."""
+
+    result: Any
+    wall_s: float
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+    engine: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -36,6 +80,12 @@ class TaskSpec:
     seed:
         The run's seed, recorded for the manifest; ``None`` when the
         driver is pure-analytic and takes no seed.
+    obs:
+        Observability context, set only for tasks bound for a pool worker.
+        ``None`` (the default, and always at ``--jobs 1``) executes the
+        driver against the caller's ambient runtime state. Excluded from
+        cache keys by construction — :func:`~repro.runner.cache.cache_key`
+        consumes the identity fields explicitly.
     """
 
     experiment_id: str
@@ -43,16 +93,56 @@ class TaskSpec:
     target: str
     kwargs: Dict[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
+    obs: Optional[SpanContext] = None
 
 
-def execute_task(spec: TaskSpec) -> Tuple[Any, float]:
-    """Run one task; returns ``(result, wall_s)``.
+def execute_task(spec: TaskSpec) -> TaskOutcome:
+    """Run one task; returns a :class:`TaskOutcome`.
 
     Runs in a worker process for parallel plans and in the parent for
     ``--jobs 1``; both paths call the exact same driver with the exact same
-    kwargs, which is what makes the two modes byte-identical.
+    kwargs, which is what makes the two modes byte-identical. Only the
+    telemetry handling differs:
+
+    * ``spec.obs`` set (pool worker) — reconfigure this process's runtime
+      to the parent's mode, open a ``runner.task`` span grafted under the
+      parent's root, and snapshot spans/metrics/engine stats into the
+      outcome for the parent to merge.
+    * ``spec.obs`` unset (in-process) — run the driver plainly; the
+      caller's ambient recorders already capture everything, so the
+      outcome carries empty telemetry.
     """
     driver = resolve_target(spec.target)
+    if spec.obs is None:
+        started = time.perf_counter()
+        result = driver(**spec.kwargs)
+        return TaskOutcome(result=result, wall_s=time.perf_counter() - started)
+
+    ctx = spec.obs
+    obs_runtime.configure(
+        enabled=ctx.obs_enabled,
+        span_prefix=ctx.prefix,
+        span_detail=ctx.span_detail,
+    )
+    spans = obs_runtime.get_spans()
+    task_span = spans.begin(
+        "runner.task",
+        parent_id=ctx.root_id,
+        experiment=spec.experiment_id,
+        part=spec.part,
+    )
     started = time.perf_counter()
-    result = driver(**spec.kwargs)
-    return result, time.perf_counter() - started
+    try:
+        result = driver(**spec.kwargs)
+    except BaseException:
+        spans.end(task_span, status="error")
+        raise
+    wall_s = time.perf_counter() - started
+    spans.end(task_span)
+    return TaskOutcome(
+        result=result,
+        wall_s=wall_s,
+        spans=spans.to_records(),
+        metrics=obs_runtime.get_registry().snapshot(),
+        engine=obs_runtime.aggregate_engine_stats(),
+    )

@@ -120,6 +120,21 @@ class SimulatorStats:
             lines.append(f"  {name:<24} {count:>9} calls  {wall:9.4f} s")
         return "\n".join(lines)
 
+    def summary(self) -> str:
+        """One-line profile digest (span labels, progress lines).
+
+        >>> stats = SimulatorStats()
+        >>> stats.dispatched, stats.cancelled = 120, 3
+        >>> stats.heap_high_watermark = 17
+        >>> stats.summary()
+        'dispatched=120 cancelled=3 heap_high=17 callbacks=0 wall=0.0000s'
+        """
+        return (
+            f"dispatched={self.dispatched} cancelled={self.cancelled} "
+            f"heap_high={self.heap_high_watermark} "
+            f"callbacks={len(self._profile)} wall={self.total_wall_s:.4f}s"
+        )
+
 
 class Event:
     """A scheduled callback.
@@ -172,8 +187,8 @@ class Simulator:
         Initial simulation clock value in seconds.
     observe:
         Whether this simulator profiles itself and exposes the process-wide
-        metrics registry/trace recorder to components (via
-        :attr:`metrics`/:attr:`trace`). ``None`` (default) follows the
+        metrics registry/trace recorder/span recorder to components (via
+        :attr:`metrics`/:attr:`trace`/:attr:`spans`). ``None`` (default) follows the
         global observability mode (see :mod:`repro.obs.runtime`); False is
         the per-simulator ``--no-obs`` escape hatch.
 
@@ -202,9 +217,11 @@ class Simulator:
         if self.observe:
             self.metrics = obs_runtime.get_registry()
             self.trace = obs_runtime.get_trace()
+            self.spans = obs_runtime.get_spans()
             obs_runtime.track_simulator(self.stats)
         else:
             self.metrics = obs_runtime.null_registry()
+            self.spans = obs_runtime.null_spans()
             from repro.sim.trace import TraceRecorder
 
             self.trace = TraceRecorder(enabled_kinds=[])
@@ -284,6 +301,8 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         clock = perf_counter
+        run_span = self.spans.begin("sim.engine.run", sim_start_s=self._now)
+        status = "ok"
         try:
             while heap:
                 event = heap[0]
@@ -312,12 +331,21 @@ class Simulator:
                 dispatched_this_run += 1
                 if max_events is not None and dispatched_this_run >= max_events:
                     break
+        except BaseException:
+            status = "error"
+            raise
         finally:
             self._running = False
             self._dispatched += dispatched_this_run
             stats.dispatched += dispatched_this_run
-        if until is not None and self._now < until:
-            self._now = until
+            if until is not None and self._now < until and status == "ok":
+                self._now = until
+            self.spans.end(
+                run_span,
+                sim_end_s=self._now,
+                status=status,
+                dispatched=dispatched_this_run,
+            )
 
     def run_until_empty(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain (bounded by ``max_events``)."""

@@ -379,6 +379,50 @@ class TestPW006MetricNames:
         assert findings == []
 
 
+class TestPW006SpanNames:
+    """The span-tracing extension: span names are literals too."""
+
+    def test_true_positive_bad_span_name(self):
+        findings = run_lint(
+            "def trace(spans):\n    return spans.begin('BadName')\n"
+        )
+        assert codes(findings) == ["PW006"]
+
+    def test_true_positive_single_segment_context_manager(self):
+        findings = run_lint(
+            """
+            def trace(runtime):
+                with runtime.span("work"):
+                    pass
+            """
+        )
+        assert codes(findings) == ["PW006"]
+
+    def test_clean_dotted_span_with_labels(self):
+        findings = run_lint(
+            """
+            def trace(spans, channel):
+                with spans.span("mac.medium.busy", channel=channel):
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_clean_foreign_span_method_non_string(self):
+        """``re.Match.span(0)`` and friends must not false-positive."""
+        findings = run_lint(
+            "def bounds(match):\n    return match.span(0)\n"
+        )
+        assert findings == []
+
+    def test_clean_exempt_inside_spans_module(self):
+        findings = run_lint(
+            "def reopen(self, name):\n    return self.begin(name)\n",
+            module="repro.obs.spans",
+        )
+        assert findings == []
+
+
 class TestPragmas:
     def test_bare_ignore_suppresses_everything(self):
         findings = run_lint(

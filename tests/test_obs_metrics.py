@@ -369,3 +369,106 @@ class TestCliObservability:
         from repro.cli import main
 
         assert main(["metrics", "fig99"]) == 2
+
+
+class TestHistogramPercentile:
+    def test_percentile_matches_quantile(self, registry):
+        h = registry.histogram("a.wall_s", buckets=(0.1, 1.0))
+        for value in range(1, 11):
+            h.observe(float(value))
+        assert h.percentile(50.0) == h.quantile(0.5) == 6.0
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(100.0) == 10.0
+
+    def test_percentile_of_empty_histogram_is_zero(self, registry):
+        assert registry.histogram("a.b").percentile(95.0) == 0.0
+
+    def test_percentile_range_enforced(self, registry):
+        h = registry.histogram("a.b")
+        with pytest.raises(ObservabilityError, match=r"\[0, 100\]"):
+            h.percentile(101.0)
+        with pytest.raises(ObservabilityError, match=r"\[0, 100\]"):
+            h.percentile(-1.0)
+
+
+class TestTimeseriesRate:
+    def test_rate_is_slope_over_window(self, registry):
+        ts = registry.timeseries("a.level")
+        ts.sample(0.0, 1.0)
+        ts.sample(2.0, 2.0)
+        ts.sample(4.0, 9.0)
+        assert ts.rate() == pytest.approx(2.0)
+
+    def test_rate_degenerate_windows_are_zero(self, registry):
+        ts = registry.timeseries("a.level")
+        assert ts.rate() == 0.0
+        ts.sample(1.0, 5.0)
+        assert ts.rate() == 0.0  # one sample
+        ts.sample(1.0, 9.0)
+        assert ts.rate() == 0.0  # repeated timestamp: zero-width window
+
+
+class TestEnergyLedgerEdgeCases:
+    """Satellite: zero-duration intervals and round-off negative drains."""
+
+    def test_zero_duration_interval_contributes_zero(self, registry):
+        ledger = EnergyLedger(registry)
+        ledger.deposit(0.0, 0.0)
+        ledger.withdraw(0.0, 0.0, operation=False)
+        assert ledger.deposited_uj == 0.0
+        assert ledger.withdrawn_uj == 0.0
+        assert ledger.net_uj == 0.0
+        assert ledger.operations == 0
+
+    def test_roundoff_negative_drain_clamps_to_zero(self, registry):
+        from repro.obs.energy import NEGATIVE_FLOW_CLAMP_J
+
+        ledger = EnergyLedger(registry)
+        ledger.deposit(0.0, -1e-18)  # integrator round-off
+        ledger.withdraw(0.1, -NEGATIVE_FLOW_CLAMP_J)  # exactly on the band edge
+        assert ledger.deposited_uj == 0.0
+        assert ledger.withdrawn_uj == 0.0
+
+    def test_genuine_negative_flow_still_raises(self, registry):
+        from repro.obs.energy import NEGATIVE_FLOW_CLAMP_J
+
+        ledger = EnergyLedger(registry)
+        with pytest.raises(ObservabilityError, match="cannot deposit"):
+            ledger.deposit(0.0, -2 * NEGATIVE_FLOW_CLAMP_J)
+        with pytest.raises(ObservabilityError, match="cannot withdraw"):
+            ledger.withdraw(0.0, -1e-6)
+
+    def test_voltage_rate_delegates_to_timeseries(self, registry):
+        ledger = EnergyLedger(registry)
+        assert ledger.voltage_rate_v_per_s() == 0.0
+        ledger.sample_voltage(0.0, 1.0)
+        assert ledger.voltage_rate_v_per_s() == 0.0
+        ledger.sample_voltage(10.0, 3.0)
+        assert ledger.voltage_rate_v_per_s() == pytest.approx(0.2)
+
+
+class TestSimulatorStatsSummary:
+    def test_summary_reflects_a_real_run(self):
+        obs_runtime.configure(enabled=True)
+        try:
+            sim = Simulator()
+            for i in range(4):
+                sim.schedule(0.1 * i, lambda: None, name="tick")
+            sim.run()
+            text = sim.stats.summary()
+            assert text.startswith("dispatched=4 cancelled=0 ")
+            assert "heap_high=" in text and "callbacks=1" in text
+            assert text.endswith("s") and "wall=" in text
+        finally:
+            obs_runtime.configure(enabled=True)
+
+    def test_summary_formatting_is_stable(self):
+        from repro.sim.engine import SimulatorStats
+
+        stats = SimulatorStats()
+        stats.dispatched, stats.cancelled = 7, 2
+        stats.heap_high_watermark = 5
+        assert (
+            stats.summary()
+            == "dispatched=7 cancelled=2 heap_high=5 callbacks=0 wall=0.0000s"
+        )

@@ -156,16 +156,21 @@ class TestManifest:
             "code_fingerprint",
             "cache",
             "totals",
+            "spans",
             "experiments",
         ):
             assert top_key in on_disk, top_key
         assert on_disk["totals"]["experiments"] == len(FAST_IDS)
         assert on_disk["totals"]["ok"] == len(FAST_IDS)
+        assert set(on_disk["spans"]) == {"schema", "count", "records"}
+        assert on_disk["spans"]["count"] == len(on_disk["spans"]["records"])
         for entry in on_disk["experiments"]:
             assert set(entry) == set(EXPERIMENT_KEYS)
             for part in entry["parts"]:
                 assert set(part) == set(PART_KEYS)
                 assert len(part["key"]) == 64
+                assert set(part["engine"]) >= {"dispatched", "heap_high_watermark"}
+                assert set(part["metrics"]) == {"records", "counter_totals"}
         fig14 = next(e for e in on_disk["experiments"] if e["id"] == "fig14")
         assert len(fig14["parts"]) == 6
         fig13 = next(e for e in on_disk["experiments"] if e["id"] == "fig13")
@@ -226,12 +231,17 @@ class TestRunAllCli:
                 str(tmp_path / "cache"),
                 "--report",
                 str(manifest_path),
+                "--history-dir",
+                str(tmp_path / "hist"),
             ]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "== run-all == 2/2 ok" in out
         assert manifest_path.is_file()
+        assert (tmp_path / "run_spans.jsonl").is_file()
+        assert (tmp_path / "run_metrics.jsonl").is_file()
+        assert (tmp_path / "hist" / "perf_history.jsonl").is_file()
         # Second invocation: everything from cache.
         code = main(
             [
@@ -242,10 +252,16 @@ class TestRunAllCli:
                 str(tmp_path / "cache"),
                 "--report",
                 str(manifest_path),
+                "--history-dir",
+                str(tmp_path / "hist"),
             ]
         )
         assert code == 0
         assert "2 from cache" in capsys.readouterr().out
+        history_lines = (
+            (tmp_path / "hist" / "perf_history.jsonl").read_text().strip().splitlines()
+        )
+        assert len(history_lines) == 2  # one appended record per invocation
 
     def test_cli_unknown_id(self, tmp_path, capsys):
         from repro.cli import main
@@ -261,7 +277,18 @@ class TestRunAllCli:
 
         cache = str(tmp_path / "cache")
         report = str(tmp_path / "m.json")
-        main(["run-all", "--ids", "table1", "--cache-dir", cache, "--report", report])
+        main(
+            [
+                "run-all",
+                "--ids",
+                "table1",
+                "--cache-dir",
+                cache,
+                "--report",
+                report,
+                "--no-history",
+            ]
+        )
         code = main(
             [
                 "run-all",
@@ -272,6 +299,7 @@ class TestRunAllCli:
                 cache,
                 "--report",
                 report,
+                "--no-history",
             ]
         )
         assert code == 0
