@@ -7,6 +7,8 @@ Usage::
     python -m repro fig14 --seed 3
     python -m repro run-all --jobs 4     # every paper artifact, in parallel
     python -m repro run-all --ids fig5,fig14 --no-cache
+    python -m repro run-all --retries 2 --task-timeout 60 \
+        --fault-plan worker.crash:1,worker.hang:1@20   # chaos drill
     python -m repro quickstart --duration 2.0
     python -m repro metrics fig07        # run + export metrics JSONL
     python -m repro trace fig07 --kinds mac.tx,core.gate_drop
@@ -30,7 +32,7 @@ import re
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InjectedFault
 from repro.experiments.registry import EXPERIMENTS, get_spec
 from repro.obs import runtime as obs_runtime
 
@@ -282,8 +284,54 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
         action="store_true",
         help="skip the perf_history.jsonl append and BENCH snapshot",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per task after a crash/raise/timeout (default: 0)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog limit per task; a hung worker is terminated and the "
+        "task retried (default: no timeout; ignored at --jobs 1)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults: a spec string like "
+        "'worker.crash:1,worker.hang:1@20' or a .json plan file "
+        "(see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for fault target selection (default: --seed)",
+    )
     args = parser.parse_args(argv)
     obs_runtime.configure(enabled=not no_obs, span_detail=args.span_detail)
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults import parse_fault_plan
+        from repro.faults import runtime as faults_runtime
+
+        try:
+            fault_plan = parse_fault_plan(
+                args.fault_plan,
+                seed=args.seed if args.fault_seed is None else args.fault_seed,
+            )
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        faults_runtime.reset()
+        if fault_plan.wants("manifest.interrupt"):
+            faults_runtime.arm("manifest.interrupt")
+        print(f"fault plan: {fault_plan.describe()} (seed={fault_plan.seed})")
 
     ids = None
     if args.ids is not None:
@@ -299,11 +347,24 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
             cache_dir=args.cache_dir,
             seed=args.seed,
             progress=print,
+            retries=args.retries,
+            task_timeout_s=args.task_timeout,
+            fault_plan=fault_plan,
         )
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    manifest = write_manifest(result, args.report)
+    try:
+        manifest = write_manifest(result, args.report)
+    except InjectedFault as exc:
+        # The manifest.interrupt fault point fired between temp write and
+        # rename: the previous manifest (if any) is guaranteed intact.
+        # Retrying completes the write — exactly the recovery an operator
+        # performs after a mid-write kill.
+        print(f"manifest write interrupted ({exc}); retrying", file=sys.stderr)
+        manifest = write_manifest(result, args.report)
+    if result.interrupted:
+        print("run interrupted; manifest records partial results", file=sys.stderr)
     totals = manifest["totals"]
     print(
         f"== run-all == {totals['ok']}/{totals['experiments']} ok, "

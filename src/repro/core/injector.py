@@ -51,6 +51,8 @@ class PowerInjector:
         self.dropped_by_gate = 0
         self.collided = 0
         self.ticks = 0
+        self.stalled_ticks = 0
+        self._stalled_until = 0.0
         self._timer: Optional[Event] = None
         self._running = False
         self._synced_ticks = 0
@@ -68,6 +70,7 @@ class PowerInjector:
         self._m_duty_cycle = metrics.gauge(
             "core.injector.duty_cycle", interface=station.name
         )
+        self._m_stalls = metrics.counter("core.injector.stalls", interface=station.name)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -90,6 +93,25 @@ class PowerInjector:
     def running(self) -> bool:
         """True while the injection loop is active."""
         return self._running
+
+    def stall_for(self, duration_s: float) -> None:
+        """Freeze injection for ``duration_s`` sim seconds from now.
+
+        The fault hook behind ``world.injector.stall`` (§7: the user-space
+        injector loses its cadence when the router CPU is saturated).
+        Stalled ticks keep the timer alive but neither consult the gate
+        nor enqueue — they are tallied separately in :attr:`stalled_ticks`
+        so the duty-cycle accounting is untouched.
+        """
+        until = self.sim.now + duration_s
+        if until > self._stalled_until:
+            self._stalled_until = until
+        self._m_stalls.inc()
+
+    @property
+    def stalled(self) -> bool:
+        """True while an injected stall window is open."""
+        return self.sim.now < self._stalled_until
 
     @property
     def duty_cycle(self) -> float:
@@ -123,6 +145,12 @@ class PowerInjector:
 
     def _tick(self) -> None:
         if not self._running:
+            return
+        if self.stalled:
+            self.stalled_ticks += 1
+            self._timer = self.sim.schedule(
+                self.config.effective_period_s, self._tick, name="power_inject"
+            )
             return
         self.ticks += 1
         if self.gate.admit():

@@ -46,3 +46,13 @@ class QueueFullError(ReproError):
 
 class ObservabilityError(ReproError):
     """The metrics/trace instrumentation layer was misused."""
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately fired by the fault-injection subsystem.
+
+    Raised (or simulated) only when a :class:`repro.faults.FaultPlan` armed
+    the corresponding fault point — never during normal operation. The
+    message always names the fault point so failure records stay
+    attributable to the plan that caused them.
+    """

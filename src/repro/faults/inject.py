@@ -1,0 +1,81 @@
+"""Worker-side fault firing: where armed directives actually detonate.
+
+:func:`fire_worker_faults` runs at the top of
+:func:`~repro.runner.tasks.execute_task`, before the driver is called, and
+:func:`sabotage_outcome` just after it returns. Both are no-ops unless the
+parent bound :class:`~repro.faults.plan.FaultDirective`\\ s onto the task —
+the fault-free hot path costs one empty-tuple check.
+
+Directives are one-shot by construction: the runner strips them from a task
+before requeueing it, so a retried attempt always runs clean. That is what
+makes the chaos invariant hold — injected infrastructure faults change *how*
+a result was obtained (attempts, pool rebuilds, quarantines), never the
+result bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Sequence
+
+from repro.errors import InjectedFault
+from repro.faults.plan import DEFAULT_HANG_S, FaultDirective
+
+#: Exit status an injected worker crash dies with (distinguishable from a
+#: genuine interpreter abort in worker logs).
+CRASH_EXIT_STATUS = 3
+
+
+class _Unpicklable:
+    """A result wrapper no pickle protocol can serialise."""
+
+    def __init__(self, wrapped: Any) -> None:
+        self.wrapped = wrapped
+        self.poison = lambda: wrapped  # local lambda: unpicklable by design
+
+    def __reduce__(self):
+        raise InjectedFault("worker.unpicklable: injected unpicklable result")
+
+
+def fire_worker_faults(
+    directives: Sequence[FaultDirective], in_process: bool
+) -> None:
+    """Fire pre-driver directives (raise / crash / hang).
+
+    ``in_process`` degrades ``worker.crash`` to an :class:`InjectedFault`
+    raise: at ``--jobs 1`` the "worker" is the orchestrating process itself,
+    and killing it would turn a recoverable fault into an unrecoverable one.
+    """
+    for directive in directives:
+        if directive.point == "worker.raise":
+            raise InjectedFault("worker.raise: injected task failure")
+        if directive.point == "worker.crash":
+            if in_process:
+                raise InjectedFault(
+                    "worker.crash: degraded to raise (in-process run)"
+                )
+            os._exit(CRASH_EXIT_STATUS)
+        if directive.point == "worker.hang":
+            time.sleep(
+                DEFAULT_HANG_S if directive.param is None else directive.param
+            )
+
+
+def sabotage_outcome(
+    directives: Sequence[FaultDirective], result: Any, in_process: bool
+) -> Any:
+    """Apply post-driver directives (unpicklable result).
+
+    In-process runs never pickle results, so the wrapper would silently
+    *become* the result; ``in_process`` degrades the fault to a raise there,
+    keeping result bytes sacrosanct in both modes.
+    """
+    for directive in directives:
+        if directive.point == "worker.unpicklable":
+            if in_process:
+                raise InjectedFault(
+                    "worker.unpicklable: degraded to raise (in-process run)"
+                )
+            return _Unpicklable(result)
+    return result

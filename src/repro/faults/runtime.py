@@ -1,0 +1,42 @@
+"""Process-wide armed-fault state.
+
+Task-scoped faults travel on the :class:`~repro.runner.tasks.TaskSpec`
+itself; this module holds the few faults that are *process*- rather than
+task-scoped (today: ``manifest.interrupt``), armed once per run and
+consumed at their fault point. Mirrors :mod:`repro.obs.runtime`: a plain
+module-global, reset per invocation, never consulted unless a plan armed
+something — the zero-plan fast path is one falsy check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_armed: Dict[str, int] = {}
+
+
+def arm(point: str, count: int = 1) -> None:
+    """Arm ``point`` to fire ``count`` times in this process."""
+    _armed[point] = _armed.get(point, 0) + int(count)
+
+
+def consume(point: str) -> bool:
+    """Fire ``point`` if armed: returns True and decrements, else False."""
+    remaining = _armed.get(point, 0)
+    if remaining <= 0:
+        return False
+    if remaining == 1:
+        del _armed[point]
+    else:
+        _armed[point] = remaining - 1
+    return True
+
+
+def armed(point: str) -> int:
+    """How many firings remain armed for ``point``."""
+    return _armed.get(point, 0)
+
+
+def reset() -> None:
+    """Disarm everything (each run_all invocation starts clean)."""
+    _armed.clear()

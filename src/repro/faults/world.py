@@ -1,0 +1,155 @@
+"""Simulated-world faults: the deployment flakiness of §7, on demand.
+
+The paper's six home deployments survived weeks of real-world adversity —
+routers rebooting under load, neighbouring networks smothering a channel,
+sensors browning out between recharge cycles. This module injects those
+conditions into a testbed deterministically: each world fault becomes a
+seeded window scheduled on the simulator, landing on a component chosen by
+the plan's named RNG streams, so a chaos run replays exactly from its seed.
+
+Unlike infrastructure faults (which a hardened runner retries away without
+changing any result bytes), world faults *are part of the simulated world*:
+they change occupancy, throughput and harvested energy, which is the point
+— they answer "does PoWiFi's coexistence story hold when the environment
+misbehaves", the robustness claim at the heart of the paper.
+
+Fault points and their component hooks:
+
+* ``world.channel.outage``   → :meth:`repro.mac80211.medium.Medium.inject_outage`
+* ``world.injector.stall``   → :meth:`repro.core.injector.PowerInjector.stall_for`
+* ``world.txqueue.overflow`` → :meth:`repro.netstack.txqueue.DeviceQueue.begin_forced_overflow`
+* ``world.harvester.brownout`` → :meth:`repro.harvester.storage.Capacitor.brownout`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import DEFAULT_WINDOW_S, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.experiments.base import Testbed
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class WorldFaultEvent:
+    """One scheduled world fault: what fires, on which component, when."""
+
+    point: str
+    target: str
+    start_s: float
+    duration_s: float
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-safe form for manifests and reports."""
+        return {
+            "point": self.point,
+            "target": self.target,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s, 6),
+        }
+
+
+def schedule_world_faults(
+    plan: FaultPlan,
+    sim: "Simulator",
+    horizon_s: float,
+    mediums: Sequence[Any] = (),
+    injectors: Sequence[Any] = (),
+    queues: Sequence[Any] = (),
+    capacitors: Sequence[Any] = (),
+) -> List[WorldFaultEvent]:
+    """Schedule every world fault of ``plan`` onto ``sim``.
+
+    For each world :class:`~repro.faults.plan.FaultSpec`, ``count`` windows
+    are drawn: the target component comes from the spec's named RNG stream
+    (choices over components sorted by stable label, so wiring order never
+    matters), the start is uniform over the feasible range, and the duration
+    is the spec's ``param`` (default :data:`DEFAULT_WINDOW_S`). Returns the
+    scheduled events, sorted by start time, for reporting.
+    """
+    if horizon_s <= 0:
+        raise ConfigurationError(f"horizon must be > 0, got {horizon_s}")
+    pools: Dict[str, List[Tuple[str, Any]]] = {
+        "world.channel.outage": sorted(
+            ((f"channel={m.channel}", m) for m in mediums), key=lambda p: p[0]
+        ),
+        "world.injector.stall": sorted(
+            ((f"injector={i.station.name}", i) for i in injectors),
+            key=lambda p: p[0],
+        ),
+        "world.txqueue.overflow": sorted(
+            ((f"queue={q.name}", q) for q in queues), key=lambda p: p[0]
+        ),
+        "world.harvester.brownout": [
+            (f"capacitor={index}", c) for index, c in enumerate(capacitors)
+        ],
+    }
+    events: List[WorldFaultEvent] = []
+    for index, spec in enumerate(plan.world_specs()):
+        pool = pools[spec.point]
+        if not pool:
+            continue
+        rng = plan.world_stream(f"{spec.point}#{index}")
+        duration_s = DEFAULT_WINDOW_S if spec.param is None else spec.param
+        for _ in range(spec.count):
+            target_label, component = pool[rng.randrange(len(pool))]
+            start_s = rng.uniform(0.0, max(horizon_s - duration_s, 0.0))
+            _schedule_one(sim, spec.point, component, start_s, duration_s)
+            events.append(
+                WorldFaultEvent(
+                    point=spec.point,
+                    target=target_label,
+                    start_s=start_s,
+                    duration_s=duration_s,
+                )
+            )
+    events.sort(key=lambda e: (e.start_s, e.point, e.target))
+    return events
+
+
+def _schedule_one(
+    sim: "Simulator", point: str, component: Any, start_s: float, duration_s: float
+) -> None:
+    if point == "world.channel.outage":
+        sim.schedule(
+            start_s, component.inject_outage, duration_s, name="fault_outage"
+        )
+    elif point == "world.injector.stall":
+        sim.schedule(
+            start_s, component.stall_for, duration_s, name="fault_stall"
+        )
+    elif point == "world.txqueue.overflow":
+        sim.schedule(
+            start_s, component.begin_forced_overflow, name="fault_overflow"
+        )
+        sim.schedule(
+            start_s + duration_s,
+            component.end_forced_overflow,
+            name="fault_overflow_end",
+        )
+    elif point == "world.harvester.brownout":
+        sim.schedule(start_s, component.brownout, name="fault_brownout")
+
+
+def apply_to_testbed(
+    plan: FaultPlan, testbed: "Testbed", horizon_s: float
+) -> List[WorldFaultEvent]:
+    """Wire ``plan``'s world faults into a standard §4 testbed.
+
+    Targets every channel medium, every router power injector, and the
+    injector-side device queues; harvester brownouts need explicit
+    capacitors, so pass those through :func:`schedule_world_faults` directly.
+    """
+    injectors = list(testbed.router.injectors.values())
+    return schedule_world_faults(
+        plan,
+        testbed.sim,
+        horizon_s,
+        mediums=list(testbed.media.values()),
+        injectors=injectors,
+        queues=[injector.station.queue for injector in injectors],
+    )

@@ -96,6 +96,7 @@ class Medium:
         self.total_busy_time = 0.0
         self.transmission_count = 0
         self.collision_count = 0
+        self.outage_count = 0
         metrics = sim.metrics
         self._m_transmissions = metrics.counter(
             "mac.medium.transmissions", channel=channel
@@ -104,6 +105,7 @@ class Medium:
         self._m_busy_s = metrics.counter("mac.medium.busy_time_s", channel=channel)
         self._m_airtime_s = metrics.counter("mac.medium.airtime_s", channel=channel)
         self._m_rounds = metrics.counter("mac.medium.dcf_rounds", channel=channel)
+        self._m_outages = metrics.counter("mac.medium.outages", channel=channel)
 
     # ------------------------------------------------------------------ wiring
 
@@ -122,6 +124,33 @@ class Medium:
     def is_busy(self) -> bool:
         """True while a transmission (plus ACK exchange) is on the air."""
         return self.sim.now < self._busy_until
+
+    def inject_outage(self, duration_s: float) -> None:
+        """Hold the channel busy for ``duration_s`` from now (external
+        interference — the fault-injection hook behind
+        ``world.channel.outage``, see ``docs/robustness.md``).
+
+        Carrier sense reacts exactly as it would to a real interferer: any
+        pending DCF round is abandoned (the countdown would have frozen)
+        and contention restarts when the outage clears. An in-flight
+        transmission keeps its schedule — the interferer corrupts nobody
+        retroactively, it only extends the busy horizon.
+        """
+        if duration_s <= 0:
+            raise MediumError(f"outage duration must be > 0, got {duration_s}")
+        now = self.sim.now
+        end = now + duration_s
+        # Only the *incremental* busy extension counts toward occupancy.
+        self.total_busy_time += max(0.0, end - max(self._busy_until, now))
+        if end > self._busy_until:
+            self._busy_until = end
+        self.outage_count += 1
+        self._m_outages.inc()
+        if self._round_event is not None:
+            self._round_event.cancel()
+            self._round_event = None
+            self._round_contenders = []
+        self.sim.schedule(duration_s, self.notify_ready, name="outage_end")
 
     # --------------------------------------------------------------- contention
 

@@ -80,6 +80,8 @@ class DeviceQueue:
         self._next_index = 0
         self.total_enqueued = 0
         self.total_tail_dropped = 0
+        self.total_forced_dropped = 0
+        self.forced_overflow = False
         self.high_watermark = 0
         registry = metrics if metrics is not None else NULL_REGISTRY
         self._m_enqueued = registry.counter("net.txqueue.enqueued", queue=name)
@@ -91,12 +93,24 @@ class DeviceQueue:
         self._m_depth_on_push = registry.histogram(
             "net.txqueue.depth_on_push", buckets=_DEPTH_BUCKETS, queue=name
         )
+        self._m_forced_dropped = registry.counter(
+            "net.txqueue.forced_dropped", queue=name
+        )
 
     # ---------------------------------------------------------------- mutation
 
     def push(self, frame: FrameJob) -> bool:
         """Append ``frame`` to its class; returns False (tail drop) when its
         class is full."""
+        if self.forced_overflow:
+            # Injected overflow window (world.txqueue.overflow): every push
+            # tail-drops exactly as a saturated driver ring would, which is
+            # the condition the IP_Power qdepth gate exists to absorb.
+            self.total_tail_dropped += 1
+            self.total_forced_dropped += 1
+            self._m_dropped.inc()
+            self._m_forced_dropped.inc()
+            return False
         name = self.classifier(frame)
         queue = self._classes.setdefault(name, deque())
         if len(queue) >= self.capacity:
@@ -113,6 +127,14 @@ class DeviceQueue:
             self.high_watermark = self._size
             self._m_high_watermark.set(self._size)
         return True
+
+    def begin_forced_overflow(self) -> None:
+        """Open an injected overflow window: every ``push`` tail-drops."""
+        self.forced_overflow = True
+
+    def end_forced_overflow(self) -> None:
+        """Close the injected overflow window (normal admission resumes)."""
+        self.forced_overflow = False
 
     def push_front(self, frame: FrameJob) -> None:
         """Return a frame to the head of its class (MAC retry path).

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import ObservabilityError
+from repro.obs.ioutil import append_line, write_atomic
 
 #: Bump on any breaking change to the history record layout.
 HISTORY_SCHEMA_VERSION = 1
@@ -104,12 +105,13 @@ def append_history(
     """Append one record to ``<directory>/perf_history.jsonl``.
 
     Creates the directory (and file) on first use; returns the file path.
+    The record goes down as one ``O_APPEND`` write
+    (:func:`repro.obs.ioutil.append_line`), so a killed run can tear at
+    most the final newline, never an earlier record.
     """
-    path = Path(directory) / HISTORY_FILENAME
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
-    return path
+    return append_line(
+        Path(directory) / HISTORY_FILENAME, json.dumps(record, sort_keys=True)
+    )
 
 
 def write_bench_snapshot(
@@ -119,14 +121,14 @@ def write_bench_snapshot(
     """Write the record as ``BENCH_<date>.json`` (same-day runs overwrite).
 
     The dated snapshot is the human-browsable point on the BENCH
-    trajectory; the JSONL stream is the machine-diffable one.
+    trajectory; the JSONL stream is the machine-diffable one. Written
+    atomically so a same-day overwrite can never tear the previous
+    snapshot.
     """
-    path = Path(directory) / f"BENCH_{record['date']}.json"
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return write_atomic(
+        Path(directory) / f"BENCH_{record['date']}.json",
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+    )
 
 
 def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:

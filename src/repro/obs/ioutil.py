@@ -1,0 +1,92 @@
+"""Crash-safe file I/O shared by every on-disk artifact writer.
+
+A killed run must never leave a *truncated* artifact: a half-written
+``run_manifest.json`` that parses as garbage is worse than no manifest at
+all, and a torn ``perf_history.jsonl`` line would poison every later
+``repro compare``. Two primitives enforce that everywhere:
+
+* :func:`write_atomic` — write-temp-then-rename. The destination either
+  holds its previous content or the complete new payload; readers can never
+  observe an intermediate state. Used by the result cache, the manifest
+  writer, and BENCH snapshots.
+* :func:`append_line` — append one newline-terminated record with a single
+  ``write`` on an ``O_APPEND`` descriptor, which POSIX guarantees is not
+  interleaved with concurrent appenders for ordinary files. Used by the
+  perf-history stream.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.faults import runtime as faults_runtime
+
+
+def write_atomic(
+    path: Union[str, Path],
+    payload: Union[bytes, str],
+    encoding: str = "utf-8",
+    fault_point: Optional[str] = None,
+) -> Path:
+    """Atomically replace ``path`` with ``payload`` (temp file + rename).
+
+    The temp file is created in the destination directory so the final
+    ``os.replace`` stays on one filesystem (rename atomicity). On *any*
+    failure — including an injected one — the temp file is removed and the
+    prior destination content is untouched.
+
+    ``fault_point`` names a :mod:`repro.faults` point (``manifest.interrupt``)
+    checked between temp-file write and rename; when armed, the write dies
+    at exactly the worst moment, which is how the crash-safety contract is
+    exercised end to end.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = payload.encode(encoding) if isinstance(payload, str) else payload
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+        if fault_point is not None and faults_runtime.consume(fault_point):
+            from repro.errors import InjectedFault
+
+            raise InjectedFault(f"{fault_point}: write of {path.name} interrupted")
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def append_line(
+    path: Union[str, Path], line: str, encoding: str = "utf-8"
+) -> Path:
+    """Append one complete line to ``path`` (created along with parents).
+
+    The record is newline-terminated and written with a single
+    ``os.write`` on an ``O_APPEND`` descriptor: concurrent appenders from
+    parallel runs cannot interleave bytes, and a kill between calls leaves
+    only whole lines behind (readers like
+    :func:`repro.obs.history.load_history` additionally tolerate a torn
+    final line by skipping blanks).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not line.endswith("\n"):
+        line += "\n"
+    descriptor = os.open(
+        str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        os.write(descriptor, line.encode(encoding))
+    finally:
+        os.close(descriptor)
+    return path

@@ -15,8 +15,10 @@ invalidates exactly the runs it could have affected (the fingerprint is
 deliberately whole-tree: cheaper and safer than per-module dependency
 tracing — a one-line kernel change invalidates everything, which is the
 conservative direction). Entries are pickled result objects with a JSON
-metadata sidecar; unreadable entries are treated as misses and discarded,
-so a corrupted cache degrades to re-execution, never to wrong results.
+metadata sidecar; unreadable entries are treated as misses and *quarantined*
+(moved aside, counted, reported — never silently destroyed), so a corrupted
+cache degrades to observable re-execution, never to wrong results and never
+to an evidence-free disappearance.
 
 Cache layout::
 
@@ -24,6 +26,8 @@ Cache layout::
       objects/
         <key>.pkl    # pickled result object
         <key>.json   # metadata: experiment, part, seed, duration, size
+      quarantine/
+        <key>.pkl    # unreadable entries moved here by get() for autopsy
 
 See ``docs/running.md`` for the user-facing semantics and invalidation
 rules.
@@ -37,9 +41,11 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.ioutil import write_atomic
 
 #: Bump when the key construction or entry layout changes; stale-schema
 #: entries then simply never match again.
@@ -130,14 +136,22 @@ def cache_key(
 class ResultCache:
     """The ``.repro_cache/`` store: pickled results addressed by key.
 
-    Writes are atomic (temp file + ``os.replace``) so a parallel run
-    interrupted mid-write can never leave a truncated entry that later
-    reads as a hit.
+    Writes are atomic (temp file + ``os.replace``,
+    :func:`repro.obs.ioutil.write_atomic`) so a parallel run interrupted
+    mid-write can never leave a truncated entry that later reads as a hit.
+    Reads that *do* find a corrupt entry (torn by a power loss, a bad disk,
+    or an injected ``cache.corrupt`` fault) quarantine it under
+    ``quarantine/``, count it on ``runner.cache.corrupt``, and report a
+    miss — the entry stays available for autopsy instead of vanishing.
     """
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
         self.objects = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
+        #: Keys quarantined by this instance, in discovery order (the
+        #: runner drains this to emit one progress line per event).
+        self.quarantine_events: List[str] = []
 
     def _object_path(self, key: str) -> Path:
         return self.objects / f"{key}.pkl"
@@ -146,7 +160,8 @@ class ResultCache:
         return self.objects / f"{key}.json"
 
     def get(self, key: str) -> Tuple[bool, Any]:
-        """``(hit, result)``; corrupt or unreadable entries count as misses."""
+        """``(hit, result)``; corrupt or unreadable entries count as misses
+        and are quarantined (see :meth:`quarantine`)."""
         path = self._object_path(key)
         try:
             with open(path, "rb") as handle:
@@ -154,9 +169,35 @@ class ResultCache:
         except FileNotFoundError:
             return False, None
         except Exception:
-            # Truncated/corrupt entry: drop it so it cannot mask re-execution.
-            self.discard(key)
+            # Truncated/corrupt entry: move it aside so it cannot mask
+            # re-execution, while keeping the bytes for post-mortems.
+            self.quarantine(key)
             return False, None
+
+    def quarantine(self, key: str) -> None:
+        """Move one entry (object + sidecar) into ``quarantine/``."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        for path in (self._object_path(key), self._meta_path(key)):
+            try:
+                os.replace(path, self.quarantine_dir / path.name)
+            except OSError:
+                pass
+        self.quarantine_events.append(key)
+        obs_runtime.get_registry().counter("runner.cache.corrupt").inc()
+
+    def corrupt_entry(self, key: str) -> bool:
+        """Deliberately truncate one stored entry (fault injection / tests).
+
+        Returns False when no entry exists. The damage mimics a torn write:
+        the object file keeps its first few bytes, which is exactly the
+        shape :meth:`get` must survive.
+        """
+        path = self._object_path(key)
+        if not path.exists():
+            return False
+        with open(path, "r+b") as handle:
+            handle.truncate(4)
+        return True
 
     def put(self, key: str, result: Any, meta: Optional[Dict[str, Any]] = None) -> None:
         """Store one result and its metadata sidecar atomically."""
@@ -172,19 +213,10 @@ class ResultCache:
         )
 
     def _write_atomic(self, path: Path, payload: bytes) -> None:
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                handle.write(payload)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        # Thin wrapper kept for API stability; the shared implementation
+        # lives in repro.obs.ioutil so every artifact writer agrees on the
+        # crash-safety contract.
+        write_atomic(path, payload)
 
     def contains(self, key: str) -> bool:
         """Whether an entry exists (without loading it)."""

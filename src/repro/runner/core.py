@@ -8,7 +8,8 @@ experiments in one call:
    declares a sweep decomposition (Fig 5 by threshold, Fig 6 by scheme,
    Fig 14 by home, ...).
 2. **Cache check** — every task's :func:`~repro.runner.cache.cache_key`
-   is probed against the content-addressed store; hits replay instantly.
+   is probed against the content-addressed store; hits replay instantly,
+   corrupt entries are quarantined and re-executed.
 3. **Execute** — remaining tasks fan out over a
    ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers), slowest
    runtime class first so the pool drains evenly. ``jobs=1`` runs the same
@@ -17,10 +18,26 @@ experiments in one call:
 4. **Merge + check** — part results are merged in canonical order and the
    experiment's shape check validates the paper's headline claim.
 
-Per-task wall-clock and cache hit/miss counts flow through the shared
-``repro.obs`` metrics registry (``runner.*`` instruments); the caller gets
-a :class:`RunAllResult` from which ``run_manifest.json`` is rendered
-(:mod:`repro.runner.manifest`).
+The execution stage is hardened against worker failure (this is the layer
+the chaos CI job beats on, see ``docs/robustness.md``):
+
+* a **watchdog** enforces ``task_timeout_s`` per task — a hung worker is
+  terminated with its pool and the innocent in-flight tasks are requeued
+  uncharged;
+* failures retry up to ``retries`` extra attempts, with per-part attempt
+  counts recorded for the manifest; injected fault directives are stripped
+  before requeue, so retried attempts always run clean;
+* a **BrokenProcessPool** (worker killed by the OS, by a crash fault, or
+  by the OOM killer) rebuilds the pool and requeues what never finished;
+* SIGINT/SIGTERM degrade gracefully: the run stops submitting, marks
+  unfinished tasks ``interrupted``, and returns a partial
+  :class:`RunAllResult` the CLI still flushes as a valid manifest. A
+  second signal aborts hard.
+
+Per-task wall-clock, retry/failure and cache hit/miss/corrupt counts flow
+through the shared ``repro.obs`` metrics registry (``runner.*``
+instruments); the caller gets a :class:`RunAllResult` from which
+``run_manifest.json`` is rendered (:mod:`repro.runner.manifest`).
 """
 
 from __future__ import annotations
@@ -28,10 +45,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.registry import (
@@ -41,6 +61,7 @@ from repro.experiments.registry import (
     get_spec,
     resolve_target,
 )
+from repro.faults.plan import FaultDirective, FaultPlan, WORKER_FAULT_POINTS
 from repro.obs import runtime as obs_runtime
 from repro.runner.cache import (
     DEFAULT_CACHE_DIR,
@@ -52,6 +73,10 @@ from repro.runner.tasks import SpanContext, TaskOutcome, TaskSpec, execute_task
 
 #: Progress callback type: receives one formatted line per event.
 ProgressFn = Callable[[str], None]
+
+#: How often the pool loop wakes to run the watchdog when nothing
+#: completes (seconds). Completions interrupt the wait immediately.
+_POLL_INTERVAL_S = 0.25
 
 
 @dataclass
@@ -69,6 +94,16 @@ class PartRun:
     #: The executing worker's full metrics snapshot (pool tasks only; the
     #: parent's ambient registry already holds in-process telemetry).
     metrics: List[Dict[str, Any]] = field(default_factory=list)
+    #: Execution attempts consumed (0 for cache hits, 1 for a clean run,
+    #: more when retries fired).
+    attempts: int = 0
+    #: Whether any attempt tripped the watchdog.
+    timed_out: bool = False
+    #: Classification of the *final* failure (``error`` / ``timeout`` /
+    #: ``pool_broken`` / ``interrupted``); ``None`` when the part succeeded.
+    failure_kind: Optional[str] = None
+    #: Final failure message, ``None`` when the part succeeded.
+    error: Optional[str] = None
 
 
 @dataclass
@@ -105,8 +140,22 @@ class RunAllResult:
     code_fingerprint: str
     wall_s: float = 0.0
     #: Span records produced by this invocation (root ``runner.run_all``
-    #: plus everything recorded or adopted beneath it).
+    #: plus everything recorded, adopted, or synthesized beneath it).
     spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: Extra attempts allowed per task (the ``--retries`` setting).
+    retries: int = 0
+    #: Watchdog limit per task in seconds (``None`` = no watchdog).
+    task_timeout_s: Optional[float] = None
+    #: Whether SIGINT/SIGTERM cut the run short (the result is then
+    #: partial: unfinished tasks carry ``failure_kind="interrupted"``).
+    interrupted: bool = False
+    #: Compact description of the injected fault plan (``None`` when the
+    #: run was fault-free).
+    fault_plan: Optional[str] = None
+    #: One record per fault binding/firing this run observed.
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Cache keys quarantined as corrupt during the probe phase.
+    quarantined: List[str] = field(default_factory=list)
 
     @property
     def cache_hits(self) -> int:
@@ -138,6 +187,71 @@ class _Planned:
     #: Planning failure (broken target/sweep reference); recorded on the
     #: experiment's run instead of sinking the whole invocation.
     error: Optional[str] = None
+
+
+@dataclass
+class _TaskState:
+    """Mutable per-task execution bookkeeping (attempts, faults, fate)."""
+
+    task: TaskSpec
+    key: str
+    rank: int
+    faults: Tuple[FaultDirective, ...] = ()
+    attempts: int = 0
+    timed_out: bool = False
+    failure_kind: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.task.label
+
+
+class _InterruptGuard:
+    """Flag-based SIGINT/SIGTERM handling for graceful degradation.
+
+    The first signal sets :attr:`triggered`; the run loop notices, stops
+    submitting, and unwinds to flush a partial manifest. A second signal
+    raises ``KeyboardInterrupt`` so an operator can still abort hard.
+    Installation is skipped silently off the main thread (``signal.signal``
+    refuses there), which keeps ``run_all`` usable from test harnesses and
+    embedding code.
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self._previous: Dict[int, Any] = {}
+        self._pid = os.getpid()
+
+    def _handle(self, signum: int, frame: Any) -> None:
+        if os.getpid() != self._pid:
+            # A forked pool worker inherited this handler; restore the
+            # default disposition and re-deliver so the worker dies
+            # silently instead of spraying a KeyboardInterrupt traceback
+            # when the parent terminates its pool.
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        if self.triggered:
+            raise KeyboardInterrupt
+        self.triggered = True
+
+    def __enter__(self) -> "_InterruptGuard":
+        for signum in self._SIGNALS:
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except ValueError:  # not the main thread
+                break
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except ValueError:
+                pass
 
 
 def _plan_experiment(spec: ExperimentSpec, seed: int, fingerprint: str) -> _Planned:
@@ -236,6 +350,9 @@ def run_all(
     cache_dir: str = DEFAULT_CACHE_DIR,
     seed: int = 0,
     progress: Optional[ProgressFn] = None,
+    retries: int = 0,
+    task_timeout_s: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunAllResult:
     """Regenerate the selected experiments, in parallel and cached.
 
@@ -257,6 +374,21 @@ def run_all(
     progress:
         Optional callback receiving one structured line per completed
         task and per completed experiment (the CLI passes ``print``).
+    retries:
+        Extra attempts per task after a failure (crash, raise, timeout,
+        broken pool). ``0`` preserves fail-fast-per-task behaviour.
+    task_timeout_s:
+        Watchdog limit on one task's wall clock. Exceeding it counts the
+        attempt as ``timeout``, terminates the worker pool, requeues the
+        innocent in-flight tasks uncharged, and retries the culprit if
+        attempts remain. ``None`` (default) disables the watchdog; it is
+        also ignored in-process (``jobs=1`` cannot preempt itself).
+    fault_plan:
+        A :class:`~repro.faults.plan.FaultPlan` whose infrastructure
+        directives are deterministically bound to tasks and detonated
+        during execution. Tasks carrying worker directives are forced to
+        execute even on a warm cache (a fault that never fires tests
+        nothing); retried attempts always run clean.
     """
     started = time.perf_counter()
     ordered_ids = resolve_ids(ids)
@@ -265,6 +397,8 @@ def run_all(
     registry = obs_runtime.get_registry()
     spans = obs_runtime.get_spans()
     emit = progress or (lambda line: None)
+    retries = max(0, int(retries))
+    max_attempts = retries + 1
 
     # Everything this invocation records nests under one root span; spans
     # already present on the recorder (earlier runs in this process) are
@@ -276,128 +410,382 @@ def run_all(
 
     planned = [_plan_experiment(get_spec(key), seed, fingerprint) for key in ordered_ids]
 
+    # Bind fault directives to task labels before the cache probe: the
+    # cache.corrupt point must damage entries ahead of their probe, and
+    # worker-directive targets skip the cache so their faults actually fire.
+    fault_events: List[Dict[str, Any]] = []
+    assignment: Dict[str, Tuple[FaultDirective, ...]] = {}
+    if fault_plan is not None:
+        all_labels = [t.label for plan in planned for t in plan.tasks]
+        assignment = fault_plan.assign(all_labels)
+        for label in sorted(assignment):
+            for directive in assignment[label]:
+                fault_events.append(
+                    {"point": directive.point, "task": label, "param": directive.param}
+                )
+
     # Cache probe: hits load immediately, misses queue for execution.
     results: Dict[str, Tuple[Any, float]] = {}  # key -> (result, wall_s)
     errors: Dict[str, str] = {}  # key -> error text
     hits: Dict[str, bool] = {}
-    pending: List[Tuple[int, TaskSpec, str]] = []  # (rank, task, key)
+    pending: List[_TaskState] = []
+    quarantined_before = 0
+
+    def _drain_quarantine(label: str) -> None:
+        nonlocal quarantined_before
+        if cache is None:
+            return
+        for key in cache.quarantine_events[quarantined_before:]:
+            emit(f"[cache] quarantined corrupt entry {key[:12]} ({label}); re-executing")
+        quarantined_before = len(cache.quarantine_events)
+
     for plan in planned:
         rank = _runtime_rank(plan.spec)
         for task, key in zip(plan.tasks, plan.keys):
+            directives = assignment.get(task.label, ())
+            worker_directives = tuple(
+                d for d in directives if d.point in WORKER_FAULT_POINTS
+            )
+            if cache is not None and any(
+                d.point == "cache.corrupt" for d in directives
+            ):
+                fired = cache.corrupt_entry(key)
+                fault_events.append(
+                    {"point": "cache.corrupt", "task": task.label, "fired": fired}
+                )
             hit = False
-            if cache is not None:
+            if cache is not None and not worker_directives:
                 hit, value = cache.get(key)
+                _drain_quarantine(task.label)
                 if hit:
                     results[key] = (value, 0.0)
                     registry.counter("runner.cache.hits").inc()
             hits[key] = hit
             if not hit:
                 registry.counter("runner.cache.misses").inc()
-                pending.append((rank, task, key))
+                pending.append(
+                    _TaskState(task=task, key=key, rank=rank, faults=worker_directives)
+                )
 
     # Longest-processing-time-first: slow experiments enter the pool first
     # so the run's tail is not one straggler on an otherwise idle pool.
-    pending.sort(key=lambda item: -item[0])
+    pending.sort(key=lambda state: -state.rank)
     total_tasks = len(pending)
     effective_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     effective_jobs = max(1, min(effective_jobs, max(total_tasks, 1)))
 
     outcomes: Dict[str, TaskOutcome] = {}  # key -> executed-task telemetry
+    completed = 0
 
-    def _record(task: TaskSpec, key: str, outcome: TaskOutcome, done: int) -> None:
-        results[key] = (outcome.result, outcome.wall_s)
-        outcomes[key] = outcome
+    def _record(state: _TaskState, outcome: TaskOutcome) -> None:
+        nonlocal completed
+        completed += 1
+        state.failure_kind = None
+        state.error = None
+        results[state.key] = (outcome.result, outcome.wall_s)
+        outcomes[state.key] = outcome
         registry.histogram(
-            "runner.part.wall_s", experiment=task.experiment_id
+            "runner.part.wall_s", experiment=state.task.experiment_id
         ).observe(outcome.wall_s)
         registry.counter("runner.parts.executed").inc()
         emit(
-            f"[task {done}/{total_tasks}] {task.experiment_id}:{task.part} "
+            f"[task {completed}/{total_tasks}] {state.label} "
             f"{outcome.wall_s:.2f}s"
+            + (f" (attempt {state.attempts})" if state.attempts > 1 else "")
         )
         if cache is not None:
             cache.put(
-                key,
+                state.key,
                 outcome.result,
                 meta={
-                    "experiment": task.experiment_id,
-                    "part": task.part,
-                    "target": task.target,
-                    "seed": task.seed,
+                    "experiment": state.task.experiment_id,
+                    "part": state.task.part,
+                    "target": state.task.target,
+                    "seed": state.task.seed,
                     "duration_s": round(outcome.wall_s, 6),
                 },
             )
 
-    if effective_jobs == 1:
-        # In-process: the ambient recorders capture everything directly; the
-        # task span lives on the parent recorder and engine work is
-        # attributed per-task by diffing the tracked-simulator list.
-        for done, (_, task, key) in enumerate(pending, start=1):
-            sims_before = len(obs_runtime.simulator_stats())
-            task_span = spans.begin(
+    def _fail_or_retry(
+        state: _TaskState,
+        kind: str,
+        message: str,
+        queue: Deque[_TaskState],
+        synthesize_span: bool,
+    ) -> None:
+        """Route one failed attempt: requeue it clean, or record the loss.
+
+        Pool workers that die take their span records with them, so the
+        parent synthesizes an error-status ``runner.task`` span here —
+        failures must be at least as observable as successes.
+        """
+        if synthesize_span:
+            synth = spans.begin(
                 "runner.task",
                 parent_id=root_span.span_id if spans.enabled else None,
-                experiment=task.experiment_id,
-                part=task.part,
+                experiment=state.task.experiment_id,
+                part=state.task.part,
+                attempt=state.attempts,
+                synthesized=True,
             )
-            try:
-                outcome = execute_task(task)
-            except Exception as exc:
-                spans.end(task_span, status="error")
-                errors[key] = f"{type(exc).__name__}: {exc}"
-                emit(f"[task {done}/{total_tasks}] {task.experiment_id}:{task.part} FAILED: {exc}")
-                continue
-            spans.end(task_span)
-            outcome.engine = obs_runtime.aggregate_engine_stats(
-                obs_runtime.simulator_stats()[sims_before:]
+            spans.end(synth, status="error", failure=kind)
+        if state.attempts < max_attempts:
+            registry.counter(
+                "runner.parts.retried", experiment=state.task.experiment_id
+            ).inc()
+            emit(
+                f"[retry] {state.label} attempt {state.attempts}/{max_attempts} "
+                f"failed ({kind}: {message}); requeueing"
             )
-            _record(task, key, outcome, done)
-    elif pending:
-        # Pool fan-out: each task ships a SpanContext so the worker process
-        # mirrors the parent's observability mode (workers re-import repro
-        # with default runtime state — satellite: --no-obs must propagate)
-        # and mints span ids under a collision-free per-task prefix.
-        with ProcessPoolExecutor(max_workers=effective_jobs) as pool:
-            futures = {}
-            for index, (_, task, key) in enumerate(pending, start=1):
+            # Directives are one-shot: the retried attempt runs clean.
+            state.faults = ()
+            queue.append(state)
+            return
+        state.failure_kind = kind
+        state.error = message
+        errors[state.key] = message
+        registry.counter(
+            "runner.parts.failed", experiment=state.task.experiment_id
+        ).inc()
+        emit(
+            f"[task] {state.label} FAILED after "
+            f"{state.attempts} attempt(s) ({kind}): {message}"
+        )
+
+    queue: Deque[_TaskState] = deque(pending)
+    interrupted = False
+
+    with _InterruptGuard() as guard:
+        if effective_jobs == 1:
+            # In-process: the ambient recorders capture everything directly;
+            # the task span lives on the parent recorder and engine work is
+            # attributed per-task by diffing the tracked-simulator list.
+            # Process-killing faults degrade to raises (the "worker" here is
+            # the orchestrator itself) and the watchdog is inert — a single
+            # thread cannot preempt its own driver call.
+            while queue and not guard.triggered:
+                state = queue.popleft()
+                state.attempts += 1
+                sims_before = len(obs_runtime.simulator_stats())
+                task_span = spans.begin(
+                    "runner.task",
+                    parent_id=root_span.span_id if spans.enabled else None,
+                    experiment=state.task.experiment_id,
+                    part=state.task.part,
+                    attempt=state.attempts,
+                )
+                spec = replace(
+                    state.task, faults=state.faults, attempt=state.attempts
+                )
+                try:
+                    outcome = execute_task(spec)
+                except Exception as exc:
+                    spans.end(task_span, status="error")
+                    _fail_or_retry(
+                        state,
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                        queue,
+                        synthesize_span=False,
+                    )
+                    continue
+                spans.end(task_span)
+                outcome.engine = obs_runtime.aggregate_engine_stats(
+                    obs_runtime.simulator_stats()[sims_before:]
+                )
+                _record(state, outcome)
+        elif queue:
+            # Pool fan-out: each task ships a SpanContext so the worker
+            # process mirrors the parent's observability mode (workers
+            # re-import repro with default runtime state — --no-obs must
+            # propagate) and mints span ids under a collision-free per-task
+            # prefix. Submission is bounded to the worker count so a task's
+            # submit time approximates its start time — that is what the
+            # watchdog deadline is measured from.
+            pool = ProcessPoolExecutor(max_workers=effective_jobs)
+            in_flight: Dict[Any, _TaskState] = {}  # future -> state
+            deadlines: Dict[Any, float] = {}  # future -> submit time
+            task_index = 0
+
+            def _rebuild_pool(requeued: int) -> None:
+                nonlocal pool
+                registry.counter("runner.pool.rebuilds").inc()
+                emit(f"[pool] rebuilding worker pool ({requeued} task(s) requeued)")
+                stale = list((getattr(pool, "_processes", None) or {}).values())
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+                for proc in stale:
+                    # Private attr, hence best-effort: without it a hung
+                    # worker lingers until process exit, which is survivable.
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass
+                pool = ProcessPoolExecutor(max_workers=effective_jobs)
+
+            def _submit(state: _TaskState) -> None:
+                nonlocal task_index
+                task_index += 1
+                state.attempts += 1
                 ctx = SpanContext(
                     root_id=root_span.span_id if spans.enabled else None,
-                    prefix=f"t{index:02d}.",
+                    prefix=f"t{task_index:02d}.",
                     obs_enabled=obs_runtime.enabled(),
                     span_detail=spans.detail,
                 )
-                futures[pool.submit(execute_task, replace(task, obs=ctx))] = (
-                    task,
-                    key,
+                spec = replace(
+                    state.task,
+                    obs=ctx,
+                    faults=state.faults,
+                    attempt=state.attempts,
                 )
-            for done, future in enumerate(as_completed(futures), start=1):
-                task, key = futures[future]
                 try:
-                    outcome = future.result()
-                except Exception as exc:
-                    errors[key] = f"{type(exc).__name__}: {exc}"
-                    emit(
-                        f"[task {done}/{total_tasks}] "
-                        f"{task.experiment_id}:{task.part} FAILED: {exc}"
+                    future = pool.submit(execute_task, spec)
+                except BrokenProcessPool:
+                    _rebuild_pool(requeued=0)
+                    future = pool.submit(execute_task, spec)
+                in_flight[future] = state
+                deadlines[future] = time.perf_counter()
+
+            try:
+                while (queue or in_flight) and not guard.triggered:
+                    while (
+                        queue
+                        and len(in_flight) < effective_jobs
+                        and not guard.triggered
+                    ):
+                        _submit(queue.popleft())
+                    done, _ = wait(
+                        set(in_flight),
+                        timeout=_POLL_INTERVAL_S,
+                        return_when=FIRST_COMPLETED,
                     )
-                    continue
-                spans.adopt(outcome.spans)
-                _record(task, key, outcome, done)
+                    broken = False
+                    for future in done:
+                        state = in_flight.pop(future)
+                        deadlines.pop(future, None)
+                        try:
+                            outcome = future.result()
+                        except BrokenProcessPool as exc:
+                            broken = True
+                            _fail_or_retry(
+                                state,
+                                "pool_broken",
+                                "worker process died mid-task "
+                                f"({type(exc).__name__})",
+                                queue,
+                                synthesize_span=True,
+                            )
+                        except Exception as exc:
+                            _fail_or_retry(
+                                state,
+                                "error",
+                                f"{type(exc).__name__}: {exc}",
+                                queue,
+                                synthesize_span=True,
+                            )
+                        else:
+                            spans.adopt(outcome.spans)
+                            _record(state, outcome)
+                    overdue: List[Any] = []
+                    if task_timeout_s is not None:
+                        now = time.perf_counter()
+                        overdue = [
+                            future
+                            for future, submitted in deadlines.items()
+                            if now - submitted > task_timeout_s
+                        ]
+                    if broken or overdue:
+                        # The pool is unusable (broken) or harbouring a hung
+                        # worker (overdue): charge the culprits, requeue the
+                        # innocents uncharged, and start a fresh pool.
+                        for future in overdue:
+                            state = in_flight.pop(future)
+                            deadlines.pop(future, None)
+                            state.timed_out = True
+                            emit(
+                                f"[watchdog] {state.label} exceeded "
+                                f"{task_timeout_s:.1f}s; terminating its pool"
+                            )
+                            _fail_or_retry(
+                                state,
+                                "timeout",
+                                f"exceeded task timeout {task_timeout_s:.1f}s",
+                                queue,
+                                synthesize_span=True,
+                            )
+                        for future, state in list(in_flight.items()):
+                            if broken:
+                                # A broken pool reports the same exception
+                                # for every in-flight future; charge them all
+                                # rather than guess the culprit.
+                                _fail_or_retry(
+                                    state,
+                                    "pool_broken",
+                                    "worker pool broke while task was in flight",
+                                    queue,
+                                    synthesize_span=True,
+                                )
+                            else:
+                                # Innocent victim of a watchdog rebuild: the
+                                # attempt never ran to completion through no
+                                # fault of its own, so it is not charged.
+                                state.attempts -= 1
+                                queue.append(state)
+                        requeued = len(in_flight)
+                        in_flight.clear()
+                        deadlines.clear()
+                        _rebuild_pool(requeued)
+            finally:
+                # Snapshot the worker processes BEFORE shutdown: the
+                # executor nulls out ``_processes`` as part of shutdown,
+                # and an unterminated hung worker would block interpreter
+                # exit (atexit joins the pool's management thread).
+                stale = list((getattr(pool, "_processes", None) or {}).values())
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+                if guard.triggered:
+                    for proc in stale:
+                        try:
+                            proc.terminate()
+                        except Exception:
+                            pass
+
+        interrupted = guard.triggered
+
+    if interrupted:
+        emit("[interrupt] signal received; flushing partial results")
+        for state in pending:
+            if state.key not in results and state.key not in errors:
+                state.failure_kind = "interrupted"
+                state.error = "interrupted before completion"
+                errors[state.key] = state.error
 
     # Merge parts, shape-check, and assemble the per-experiment records.
+    states_by_key = {state.key: state for state in pending}
     runs: List[ExperimentRun] = []
     for index, plan in enumerate(planned, start=1):
-        parts = [
-            PartRun(
-                part=task.part,
-                key=key,
-                cache_hit=hits[key],
-                duration_s=results[key][1] if key in results else 0.0,
-                engine=outcomes[key].engine if key in outcomes else {},
-                metrics=outcomes[key].metrics if key in outcomes else [],
+        parts = []
+        for task, key in zip(plan.tasks, plan.keys):
+            state = states_by_key.get(key)
+            parts.append(
+                PartRun(
+                    part=task.part,
+                    key=key,
+                    cache_hit=hits[key],
+                    duration_s=results[key][1] if key in results else 0.0,
+                    engine=outcomes[key].engine if key in outcomes else {},
+                    metrics=outcomes[key].metrics if key in outcomes else [],
+                    attempts=state.attempts if state else 0,
+                    timed_out=state.timed_out if state else False,
+                    failure_kind=state.failure_kind if state else None,
+                    error=state.error if state else None,
+                )
             )
-            for task, key in zip(plan.tasks, plan.keys)
-        ]
         run = ExperimentRun(
             id=plan.spec.id,
             runtime=plan.spec.runtime,
@@ -436,7 +824,9 @@ def run_all(
     registry.gauge("runner.run.wall_s").set(wall_s)
     registry.gauge("runner.run.experiments").set(len(runs))
     ok_count = sum(1 for run in runs if run.ok)
-    spans.end(root_span, ok=ok_count, failed=len(runs) - ok_count)
+    spans.end(
+        root_span, ok=ok_count, failed=len(runs) - ok_count, interrupted=interrupted
+    )
     run_spans = [
         record
         for record in spans.to_records()
@@ -451,4 +841,10 @@ def run_all(
         code_fingerprint=fingerprint,
         wall_s=wall_s,
         spans=run_spans,
+        retries=retries,
+        task_timeout_s=task_timeout_s,
+        interrupted=interrupted,
+        fault_plan=fault_plan.describe() if fault_plan is not None else None,
+        fault_events=fault_events,
+        quarantined=list(cache.quarantine_events) if cache is not None else [],
     )

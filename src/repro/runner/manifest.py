@@ -10,7 +10,16 @@ and why" directly.
 
 The ``result_sha256`` field hashes the pickled merged result object: two
 runs regenerated the same artifact if and only if the hashes match, which
-is how the parallel-equals-sequential guarantee is audited in practice.
+is how the parallel-equals-sequential guarantee is audited in practice —
+and, since the robustness PR, how the chaos invariant is audited too:
+a faulted run's hashes must match the fault-free run's byte for byte.
+
+A manifest is written even when the run was cut short (SIGINT/SIGTERM) or
+beaten up by injected faults; ``interrupted``, ``faults`` and the per-part
+``attempts``/``failure_kind`` fields record exactly how the run degraded.
+The write itself is atomic (:func:`repro.obs.ioutil.write_atomic`), so the
+file on disk is always either the previous complete manifest or the new
+one — never a torn hybrid.
 """
 
 from __future__ import annotations
@@ -19,13 +28,17 @@ import json
 import time
 from typing import Any, Dict, List
 
+from repro.obs.ioutil import write_atomic
 from repro.obs.spans import SPAN_SCHEMA_VERSION
 from repro.runner.core import RunAllResult
 
 #: Bump on any breaking change to the manifest layout.
 #: v2 (span tracing PR): per-part ``engine``/``metrics`` summaries, a
 #: top-level ``spans`` section, and ``events_dispatched`` in totals.
-MANIFEST_SCHEMA_VERSION = 2
+#: v3 (robustness PR): per-part ``attempts``/``timed_out``/``failure_kind``/
+#: ``error``, top-level ``interrupted``/``retries``/``task_timeout_s``, and
+#: ``faults`` + ``cache.quarantined`` sections.
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Default output filename.
 MANIFEST_FILENAME = "run_manifest.json"
@@ -45,7 +58,18 @@ EXPERIMENT_KEYS = (
 )
 
 #: Required keys of every ``parts[]`` entry.
-PART_KEYS = ("part", "key", "cache_hit", "duration_s", "engine", "metrics")
+PART_KEYS = (
+    "part",
+    "key",
+    "cache_hit",
+    "duration_s",
+    "engine",
+    "metrics",
+    "attempts",
+    "timed_out",
+    "failure_kind",
+    "error",
+)
 
 
 def _part_engine(engine: Dict[str, Any]) -> Dict[str, Any]:
@@ -101,6 +125,10 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
                         "duration_s": round(part.duration_s, 6),
                         "engine": _part_engine(part.engine),
                         "metrics": _part_metrics(part.metrics),
+                        "attempts": part.attempts,
+                        "timed_out": part.timed_out,
+                        "failure_kind": part.failure_kind,
+                        "error": part.error,
                     }
                     for part in record.parts
                 ],
@@ -109,16 +137,27 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
     events_dispatched = sum(
         part["engine"]["dispatched"] for entry in experiments for part in entry["parts"]
     )
+    retried_parts = sum(
+        1 for entry in experiments for part in entry["parts"] if part["attempts"] > 1
+    )
     return {
         "schema": MANIFEST_SCHEMA_VERSION,
         "generated_unix_s": round(time.time(), 3),
         "jobs": run.jobs,
         "seed": run.seed,
         "code_fingerprint": run.code_fingerprint,
+        "interrupted": run.interrupted,
+        "retries": run.retries,
+        "task_timeout_s": run.task_timeout_s,
         "cache": {
             "enabled": run.cache_enabled,
             "dir": run.cache_dir,
             "experiments_hit": run.cache_hits,
+            "quarantined": list(run.quarantined),
+        },
+        "faults": {
+            "plan": run.fault_plan,
+            "events": list(run.fault_events),
         },
         "totals": {
             "experiments": len(run.runs),
@@ -127,6 +166,7 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
             "cache_hits": run.cache_hits,
             "wall_s": round(run.wall_s, 3),
             "events_dispatched": events_dispatched,
+            "retried_parts": retried_parts,
         },
         "spans": {
             "schema": SPAN_SCHEMA_VERSION,
@@ -138,9 +178,17 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
 
 
 def write_manifest(run: RunAllResult, path: str = MANIFEST_FILENAME) -> Dict[str, Any]:
-    """Build the manifest, write it as pretty JSON, and return it."""
+    """Build the manifest, write it atomically, and return it.
+
+    Routed through :func:`repro.obs.ioutil.write_atomic` with the
+    ``manifest.interrupt`` fault point armed-checkable between temp write
+    and rename: a run killed (or faulted) mid-write leaves the previous
+    manifest intact rather than a truncated JSON.
+    """
     manifest = build_manifest(run)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    write_atomic(
+        path,
+        json.dumps(manifest, indent=2, sort_keys=False) + "\n",
+        fault_point="manifest.interrupt",
+    )
     return manifest

@@ -14,15 +14,24 @@ per-task span-id prefix, and the observability mode, which is how
 state, so the parent's escape hatch would otherwise be silently lost).
 Inbound, :class:`TaskOutcome` carries the result plus the worker's finished
 span records, metrics snapshot, and engine profile for the parent to merge.
+
+Fault injection rides the same channel: the parent binds the
+:class:`~repro.faults.plan.FaultDirective`\\ s a
+:class:`~repro.faults.plan.FaultPlan` assigned to this task, and the worker
+detonates them around the driver call (:mod:`repro.faults.inject`). A
+retried attempt is handed a clean spec, so injected infrastructure faults
+are one-shot by construction.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.registry import resolve_target
+from repro.faults.inject import fire_worker_faults, sabotage_outcome
+from repro.faults.plan import FaultDirective
 from repro.obs import runtime as obs_runtime
 
 
@@ -86,6 +95,14 @@ class TaskSpec:
         driver against the caller's ambient runtime state. Excluded from
         cache keys by construction — :func:`~repro.runner.cache.cache_key`
         consumes the identity fields explicitly.
+    faults:
+        Armed fault directives for *this attempt* (empty on the fault-free
+        path and on every retry). Excluded from cache keys like ``obs``;
+        infrastructure faults never change result bytes, only how (and how
+        often) the result was obtained.
+    attempt:
+        1-based attempt number, labelled onto the worker's task span so a
+        span tree distinguishes a retry from a first try.
     """
 
     experiment_id: str
@@ -94,6 +111,13 @@ class TaskSpec:
     kwargs: Dict[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
     obs: Optional[SpanContext] = None
+    faults: Tuple[FaultDirective, ...] = ()
+    attempt: int = 1
+
+    @property
+    def label(self) -> str:
+        """The ``experiment:part`` label fault plans assign against."""
+        return f"{self.experiment_id}:{self.part}"
 
 
 def execute_task(spec: TaskSpec) -> TaskOutcome:
@@ -111,11 +135,18 @@ def execute_task(spec: TaskSpec) -> TaskOutcome:
     * ``spec.obs`` unset (in-process) — run the driver plainly; the
       caller's ambient recorders already capture everything, so the
       outcome carries empty telemetry.
+
+    Armed fault directives detonate here: pre-driver faults (raise, crash,
+    hang) before the timed region, result sabotage after it. In-process
+    execution degrades process-killing faults to raises — the orchestrator
+    must survive its own chaos.
     """
     driver = resolve_target(spec.target)
     if spec.obs is None:
+        fire_worker_faults(spec.faults, in_process=True)
         started = time.perf_counter()
         result = driver(**spec.kwargs)
+        result = sabotage_outcome(spec.faults, result, in_process=True)
         return TaskOutcome(result=result, wall_s=time.perf_counter() - started)
 
     ctx = spec.obs
@@ -130,15 +161,18 @@ def execute_task(spec: TaskSpec) -> TaskOutcome:
         parent_id=ctx.root_id,
         experiment=spec.experiment_id,
         part=spec.part,
+        attempt=spec.attempt,
     )
     started = time.perf_counter()
     try:
+        fire_worker_faults(spec.faults, in_process=False)
         result = driver(**spec.kwargs)
     except BaseException:
         spans.end(task_span, status="error")
         raise
     wall_s = time.perf_counter() - started
     spans.end(task_span)
+    result = sabotage_outcome(spec.faults, result, in_process=False)
     return TaskOutcome(
         result=result,
         wall_s=wall_s,

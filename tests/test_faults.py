@@ -1,0 +1,267 @@
+"""Fault-injection subsystem: plans, directives, world faults, runtime.
+
+The contract under test is determinism: a fault plan is as seeded as the
+simulation it attacks, so any chaos run — which task a crash hits, when a
+channel outage opens — replays exactly from ``(seed, specs, task set)``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.router import Scheme
+from repro.errors import ConfigurationError, InjectedFault
+from repro.experiments.base import build_testbed
+from repro.faults import (
+    FAULT_POINTS,
+    INFRA_FAULT_POINTS,
+    WORKER_FAULT_POINTS,
+    WORLD_FAULT_POINTS,
+    FaultDirective,
+    FaultPlan,
+    FaultSpec,
+    apply_to_testbed,
+    parse_fault_plan,
+    schedule_world_faults,
+)
+from repro.faults import runtime as faults_runtime
+from repro.faults.inject import fire_worker_faults, sabotage_outcome
+from repro.sim.engine import Simulator
+
+LABELS = [
+    "fig9:all",
+    "table1:all",
+    "fig14:home=1",
+    "fig14:home=2",
+    "fig14:home=3",
+]
+
+
+class TestFaultSpecValidation:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault point"):
+            FaultSpec("worker.explode")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="count must be >= 1"):
+            FaultSpec("worker.raise", count=0)
+
+    def test_registries_are_disjoint_and_complete(self):
+        assert set(INFRA_FAULT_POINTS) | set(WORLD_FAULT_POINTS) == set(FAULT_POINTS)
+        assert not set(INFRA_FAULT_POINTS) & set(WORLD_FAULT_POINTS)
+        assert WORKER_FAULT_POINTS < set(INFRA_FAULT_POINTS)
+
+    def test_directives_are_picklable(self):
+        directive = FaultDirective("worker.hang", param=2.5)
+        assert pickle.loads(pickle.dumps(directive)) == directive
+
+
+class TestPlanParsing:
+    def test_spec_string_roundtrip(self):
+        text = "worker.crash:1,worker.hang:2@20,worker.raise:1%fig14:*"
+        plan = parse_fault_plan(text, seed=5)
+        assert plan.describe() == text
+        assert plan.seed == 5
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty fault plan"):
+            parse_fault_plan("  ,  ")
+
+    def test_json_plan(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            '{"seed": 9, "faults": ['
+            '{"point": "worker.crash"},'
+            '{"point": "worker.hang", "count": 2, "param": 20, "scope": "fig9:*"}'
+            "]}"
+        )
+        plan = parse_fault_plan(str(path), seed=0)
+        assert plan.seed == 9  # file seed wins over the argument
+        assert plan.describe() == "worker.crash:1,worker.hang:2@20%fig9:*"
+
+    def test_json_plan_missing_faults_rejected(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{}")
+        with pytest.raises(ConfigurationError, match="'faults' list"):
+            parse_fault_plan(str(path))
+
+
+class TestAssignmentDeterminism:
+    def test_same_seed_same_assignment(self):
+        specs = [FaultSpec("worker.crash"), FaultSpec("worker.hang", param=5.0)]
+        first = FaultPlan(specs, seed=3).assign(LABELS)
+        second = FaultPlan(specs, seed=3).assign(LABELS)
+        assert first == second
+
+    def test_label_order_is_irrelevant(self):
+        specs = [FaultSpec("worker.raise", count=2)]
+        forward = FaultPlan(specs, seed=1).assign(LABELS)
+        backward = FaultPlan(specs, seed=1).assign(list(reversed(LABELS)))
+        assert forward == backward
+
+    def test_different_seed_can_move_targets(self):
+        specs = [FaultSpec("worker.raise")]
+        assignments = {
+            tuple(sorted(FaultPlan(specs, seed=s).assign(LABELS)))
+            for s in range(8)
+        }
+        assert len(assignments) > 1  # the seed genuinely steers selection
+
+    def test_scope_restricts_targets(self):
+        plan = FaultPlan([FaultSpec("worker.crash", count=5, scope="fig14:*")], seed=0)
+        assignment = plan.assign(LABELS)
+        assert set(assignment) == {"fig14:home=1", "fig14:home=2", "fig14:home=3"}
+
+    def test_manifest_interrupt_is_not_task_scoped(self):
+        plan = FaultPlan([FaultSpec("manifest.interrupt")], seed=0)
+        assert plan.assign(LABELS) == {}
+        assert plan.wants("manifest.interrupt")
+
+    def test_world_specs_excluded_from_assignment(self):
+        plan = FaultPlan(
+            [FaultSpec("world.channel.outage"), FaultSpec("worker.raise")], seed=0
+        )
+        assignment = plan.assign(LABELS)
+        points = {d.point for ds in assignment.values() for d in ds}
+        assert points == {"worker.raise"}
+        assert [s.point for s in plan.world_specs()] == ["world.channel.outage"]
+
+
+class TestWorkerFaultFiring:
+    def test_no_directives_is_a_noop(self):
+        fire_worker_faults((), in_process=False)
+        assert sabotage_outcome((), {"x": 1}, in_process=False) == {"x": 1}
+
+    def test_raise_fires(self):
+        with pytest.raises(InjectedFault, match="worker.raise"):
+            fire_worker_faults((FaultDirective("worker.raise"),), in_process=False)
+
+    def test_crash_degrades_to_raise_in_process(self):
+        with pytest.raises(InjectedFault, match="degraded to raise"):
+            fire_worker_faults((FaultDirective("worker.crash"),), in_process=True)
+
+    def test_hang_sleeps_param_seconds(self):
+        import time
+
+        start = time.perf_counter()
+        fire_worker_faults(
+            (FaultDirective("worker.hang", param=0.05),), in_process=False
+        )
+        assert time.perf_counter() - start >= 0.05
+
+    def test_unpicklable_wrapper_defeats_pickle(self):
+        sabotaged = sabotage_outcome(
+            (FaultDirective("worker.unpicklable"),), {"x": 1}, in_process=False
+        )
+        with pytest.raises(InjectedFault):
+            pickle.dumps(sabotaged)
+
+    def test_unpicklable_degrades_to_raise_in_process(self):
+        # In-process results are never pickled, so the wrapper would
+        # silently *become* the recorded result — degrade to a raise.
+        with pytest.raises(InjectedFault, match="degraded to raise"):
+            sabotage_outcome(
+                (FaultDirective("worker.unpicklable"),), {"x": 1}, in_process=True
+            )
+
+
+class TestFaultRuntime:
+    def test_arm_consume_cycle(self):
+        faults_runtime.reset()
+        assert not faults_runtime.consume("manifest.interrupt")
+        faults_runtime.arm("manifest.interrupt", count=2)
+        assert faults_runtime.armed("manifest.interrupt") == 2
+        assert faults_runtime.consume("manifest.interrupt")
+        assert faults_runtime.consume("manifest.interrupt")
+        assert not faults_runtime.consume("manifest.interrupt")
+
+    def test_reset_disarms(self):
+        faults_runtime.arm("manifest.interrupt")
+        faults_runtime.reset()
+        assert faults_runtime.armed("manifest.interrupt") == 0
+
+
+class TestWorldFaultScheduling:
+    def _plan(self, *specs, seed=0):
+        return FaultPlan(specs, seed=seed)
+
+    def test_events_are_deterministic(self):
+        events = []
+        for _ in range(2):
+            tb = build_testbed(Scheme.POWIFI, seed=0)
+            plan = self._plan(
+                FaultSpec("world.channel.outage", count=2, param=0.1),
+                FaultSpec("world.injector.stall", param=0.2),
+                seed=11,
+            )
+            events.append(
+                [e.to_record() for e in apply_to_testbed(plan, tb, horizon_s=1.0)]
+            )
+        assert events[0] == events[1]
+        assert len(events[0]) == 3
+
+    def test_channel_outage_raises_busy_time(self):
+        tb = build_testbed(Scheme.POWIFI, seed=0)
+        plan = self._plan(FaultSpec("world.channel.outage", param=0.3), seed=2)
+        events = apply_to_testbed(plan, tb, horizon_s=1.0)
+        (event,) = events
+        tb.sim.run(until=1.0)
+        channel = int(event.target.split("=")[1])
+        medium = tb.media[channel]
+        assert medium.outage_count == 1
+        assert medium.total_busy_time >= 0.3 - 1e-9
+
+    def test_injector_stall_skips_ticks(self):
+        tb = build_testbed(Scheme.POWIFI, seed=0)
+        plan = self._plan(FaultSpec("world.injector.stall", param=0.2), seed=4)
+        (event,) = apply_to_testbed(plan, tb, horizon_s=1.0)
+        tb.start()
+        tb.sim.run(until=1.0)
+        name = event.target.split("=", 1)[1]
+        injector = next(
+            i for i in tb.router.injectors.values() if i.station.name == name
+        )
+        assert injector.stalled_ticks > 0
+
+    def test_txqueue_overflow_forces_drops(self):
+        from repro.netstack.txqueue import DeviceQueue
+
+        sim = Simulator()
+        queue = DeviceQueue(capacity=4, name="q0")
+        plan = self._plan(FaultSpec("world.txqueue.overflow", param=0.5), seed=0)
+        events = schedule_world_faults(plan, sim, horizon_s=1.0, queues=[queue])
+        (event,) = events
+        mid = event.start_s + event.duration_s / 2
+
+        outcomes = {}
+        sim.schedule(mid, lambda: outcomes.update(during=queue.push(object())))
+        sim.schedule(
+            event.start_s + event.duration_s + 0.01,
+            lambda: outcomes.update(after=queue.push(object())),
+        )
+        sim.run(until=2.0)
+        assert outcomes["during"] is False
+        assert outcomes["after"] is True
+        assert queue.total_forced_dropped == 1
+
+    def test_capacitor_brownout_zeroes_charge(self):
+        from repro.harvester.storage import Capacitor
+
+        sim = Simulator()
+        cap = Capacitor(1e-3, initial_voltage_v=3.0)
+        plan = self._plan(FaultSpec("world.harvester.brownout"), seed=0)
+        schedule_world_faults(plan, sim, horizon_s=1.0, capacitors=[cap])
+        sim.run(until=1.0)
+        assert cap.voltage_v == 0.0
+        assert cap.energy_j == 0.0
+
+    def test_empty_component_pool_is_skipped(self):
+        sim = Simulator()
+        plan = self._plan(FaultSpec("world.channel.outage"))
+        assert schedule_world_faults(plan, sim, horizon_s=1.0) == []
+
+    def test_bad_horizon_rejected(self):
+        sim = Simulator()
+        plan = self._plan(FaultSpec("world.channel.outage"))
+        with pytest.raises(ConfigurationError, match="horizon"):
+            schedule_world_faults(plan, sim, horizon_s=0.0)

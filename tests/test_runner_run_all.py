@@ -154,12 +154,19 @@ class TestManifest:
             "jobs",
             "seed",
             "code_fingerprint",
+            "interrupted",
+            "retries",
+            "task_timeout_s",
             "cache",
+            "faults",
             "totals",
             "spans",
             "experiments",
         ):
             assert top_key in on_disk, top_key
+        assert on_disk["interrupted"] is False
+        assert on_disk["faults"] == {"plan": None, "events": []}
+        assert on_disk["cache"]["quarantined"] == []
         assert on_disk["totals"]["experiments"] == len(FAST_IDS)
         assert on_disk["totals"]["ok"] == len(FAST_IDS)
         assert set(on_disk["spans"]) == {"schema", "count", "records"}
