@@ -9,8 +9,12 @@ Usage::
     python -m repro run-all --ids fig5,fig14 --no-cache
     python -m repro run-all --retries 2 --task-timeout 60 \
         --fault-plan worker.crash:1,worker.hang:1@20   # chaos drill
+    python -m repro run-all --live       # stream run_live.jsonl while running
+    python -m repro watch                # tail + render a --live event stream
     python -m repro quickstart --duration 2.0
     python -m repro metrics fig07        # run + export metrics JSONL
+    python -m repro metrics --input run_metrics.jsonl --top 10 --sort wall
+    python -m repro profile fig07 --flame flame.txt   # per-kind attribution
     python -m repro trace fig07 --kinds mac.tx,core.gate_drop
     python -m repro spans fig05          # run + span JSONL + flame-style tree
     python -m repro spans --input run_spans.jsonl
@@ -195,6 +199,8 @@ def _cmd_list() -> int:
     print("  quickstart (built-in demo)")
     print("  report     (run everything, emit markdown)")
     print("  run-all    (every experiment, parallel + cached; see docs/running.md)")
+    print("  profile    (per-kind attribution + flame output; see docs/observability.md)")
+    print("  watch      (render a run-all --live event stream)")
     return 0
 
 
@@ -312,6 +318,12 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
         default=None,
         help="seed for fault target selection (default: --seed)",
     )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="stream lifecycle events to run_live.jsonl next to the "
+        "manifest ('python -m repro watch' renders them live)",
+    )
     args = parser.parse_args(argv)
     obs_runtime.configure(enabled=not no_obs, span_detail=args.span_detail)
 
@@ -339,6 +351,19 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
     if args.clear_cache:
         removed = ResultCache(args.cache_dir).clear()
         print(f"cleared {removed} cache entries from {args.cache_dir}")
+
+    live_sink = None
+    live_path = None
+    if args.live:
+        from repro.obs.live import LIVE_FILENAME, LiveSink, expected_walls
+
+        report_dir = os.path.dirname(os.path.abspath(args.report))
+        live_path = os.path.join(report_dir, LIVE_FILENAME)
+        history_file = os.path.join(
+            args.history_dir, "perf_history.jsonl"
+        )
+        live_sink = LiveSink(live_path, expected_walls=expected_walls(history_file))
+        print(f"live: streaming events to {live_path}")
     try:
         result = run_all(
             ids=ids,
@@ -350,6 +375,7 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
             retries=args.retries,
             task_timeout_s=args.task_timeout,
             fault_plan=fault_plan,
+            live_sink=live_sink,
         )
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
@@ -372,6 +398,13 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
         f"(jobs={result.jobs})"
     )
     print(f"manifest: {args.report}")
+    if result.spans_dropped or result.live_dropped:
+        print(
+            f"dropped telemetry: {result.spans_dropped} span(s), "
+            f"{result.live_dropped} live event(s) (see manifest totals)"
+        )
+    if live_path is not None:
+        print(f"live: {live_path}")
 
     # Sidecar telemetry next to the manifest: the span tree and the
     # parent-process metrics snapshot (worker snapshots are summarised
@@ -396,12 +429,33 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
 
 
 def _cmd_metrics(argv: List[str], no_obs: bool) -> int:
-    """``repro metrics <experiment>``: run it, export the metrics JSONL."""
+    """``repro metrics``: run + export metrics, or triage an existing export.
+
+    Two modes: ``metrics <experiment>`` runs the driver and writes the
+    metrics JSONL; ``metrics --input run_metrics.jsonl`` re-reads a
+    previous export's engine records and prints the hottest event kinds —
+    quick triage without re-running anything.
+    """
+    from repro.obs.profile import (
+        render_attribution,
+        rows_from_engine,
+        rows_from_metrics_jsonl,
+        sort_rows,
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro metrics",
-        description="Run one experiment and export its metrics as JSONL.",
+        description="Run one experiment and export its metrics as JSONL, "
+        "or triage the hot event kinds of an existing export.",
     )
-    parser.add_argument("experiment", help="experiment id (see 'list')")
+    parser.add_argument(
+        "experiment", nargs="?", default=None, help="experiment id (see 'list')"
+    )
+    parser.add_argument(
+        "--input",
+        default=None,
+        help="triage an existing metrics JSONL instead of running",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
         "--output", default=None, help="JSONL path (default: metrics_<id>.jsonl)"
@@ -409,7 +463,33 @@ def _cmd_metrics(argv: List[str], no_obs: bool) -> int:
     parser.add_argument(
         "--top", type=int, default=5, help="hot callbacks to print (0 disables)"
     )
+    parser.add_argument(
+        "--sort",
+        choices=("wall", "count"),
+        default="wall",
+        help="hot-kind ordering (default: wall)",
+    )
     args = parser.parse_args(argv)
+    if (args.experiment is None) == (args.input is None):
+        print("metrics: give exactly one of <experiment> or --input", file=sys.stderr)
+        return 2
+
+    if args.input is not None:
+        from repro.errors import ObservabilityError
+
+        try:
+            rows = rows_from_metrics_jsonl(args.input)
+        except (OSError, ObservabilityError) as exc:
+            print(f"metrics: cannot read {args.input}: {exc}", file=sys.stderr)
+            return 2
+        print(f"== metrics triage: {args.input} ==")
+        print(
+            render_attribution(
+                rows, sort=args.sort, top=args.top if args.top > 0 else None
+            )
+        )
+        return 0
+
     key = _resolve_experiment(args.experiment)
     if key is None:
         return 2
@@ -428,11 +508,204 @@ def _cmd_metrics(argv: List[str], no_obs: bool) -> int:
         f"cancelled {engine['cancelled']}, "
         f"heap high-water {engine['heap_high_watermark']}"
     )
-    for row in obs_runtime.hot_callbacks(args.top):
+    hot = sort_rows(rows_from_engine(engine), sort=args.sort)
+    for row in hot[: max(0, args.top)]:
         print(
-            f"  {row['name']:<24} {row['count']:>9} calls  {row['wall_s']:9.4f} s"
+            f"  {row.kind:<24} {row.count:>9} calls  {row.wall_s:9.4f} s"
         )
     return 0
+
+
+def _cmd_profile(argv: List[str], no_obs: bool) -> int:
+    """``repro profile``: per-kind attribution table + collapsed stacks.
+
+    Either runs one experiment under the ambient profiler or re-reads a v4+
+    ``run_manifest.json`` (``--input``) whose parts carry ``engine.profile``
+    sections. See ``docs/observability.md`` for the table and the
+    collapsed-stack (flamegraph.pl / speedscope) format.
+    """
+    import time as _time
+
+    from repro.obs.profile import (
+        aggregate_rows,
+        render_attribution,
+        rows_from_engine,
+        rows_from_manifest,
+        write_flame,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Attribute wall-clock and dispatch counts to "
+        "(event kind, component, experiment part); optionally emit "
+        "collapsed stacks for flamegraph.pl / speedscope.",
+    )
+    parser.add_argument(
+        "experiment", nargs="?", default=None, help="experiment id (see 'list')"
+    )
+    parser.add_argument(
+        "--input",
+        default=None,
+        help="profile an existing run_manifest.json instead of running",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--top", type=int, default=None, help="kinds to print (default: all)"
+    )
+    parser.add_argument(
+        "--sort",
+        choices=("wall", "count"),
+        default="wall",
+        help="table ordering (default: wall)",
+    )
+    parser.add_argument(
+        "--flame",
+        default=None,
+        metavar="PATH",
+        help="write collapsed-stack output for flamegraph.pl / speedscope",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the attribution rows as JSON"
+    )
+    args = parser.parse_args(argv)
+    if (args.experiment is None) == (args.input is None):
+        print("profile: give exactly one of <experiment> or --input", file=sys.stderr)
+        return 2
+
+    if args.input is not None:
+        try:
+            with open(args.input, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"profile: cannot read {args.input}: {exc}", file=sys.stderr)
+            return 2
+        rows = rows_from_manifest(manifest)
+        total_wall = float(manifest.get("totals", {}).get("wall_s", 0.0)) or None
+        title = args.input
+    else:
+        if no_obs:
+            print("profiling requires observability; drop --no-obs", file=sys.stderr)
+            return 2
+        key = _resolve_experiment(args.experiment)
+        if key is None:
+            return 2
+        obs_runtime.configure(enabled=True)
+        started = _time.perf_counter()
+        _run_driver(key, args.seed)
+        total_wall = _time.perf_counter() - started
+        rows = rows_from_engine(
+            obs_runtime.aggregate_engine_stats(), experiment=key, part="all"
+        )
+        title = key
+
+    if not rows:
+        print(
+            f"profile: no attribution data in {title} "
+            "(cache-only, --no-obs, or pre-v4 manifest)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                [row.to_record() for row in aggregate_rows(rows, by_part=True)],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"== profile: {title} ==")
+        print(
+            render_attribution(
+                aggregate_rows(rows),
+                total_wall_s=total_wall,
+                sort=args.sort,
+                top=args.top,
+            )
+        )
+    if args.flame is not None:
+        count = write_flame(aggregate_rows(rows, by_part=True), args.flame)
+        print(f"flame: wrote {count} stacks to {args.flame}")
+    return 0
+
+
+def _cmd_watch(argv: List[str]) -> int:
+    """``repro watch``: tail and render a ``run-all --live`` event stream."""
+    import time as _time
+
+    from repro.obs.live import (
+        LIVE_FILENAME,
+        WatchState,
+        render_board,
+        replay,
+        tail_jsonl,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description="Render the live event stream a 'run-all --live' "
+        "invocation writes, refreshing until the run completes.",
+    )
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding run_live.jsonl and its sidecars (default: .)",
+    )
+    parser.add_argument(
+        "--file", default=None, help=f"explicit event-log path (overrides --dir/{LIVE_FILENAME})"
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="refresh period (default: 0.5)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current snapshot once and exit",
+    )
+    args = parser.parse_args(argv)
+    live_path = args.file or os.path.join(args.dir, LIVE_FILENAME)
+    sidecar_dir = os.path.dirname(os.path.abspath(live_path))
+    spans_path = os.path.join(sidecar_dir, "run_spans.jsonl")
+    metrics_path = os.path.join(sidecar_dir, "run_metrics.jsonl")
+
+    if args.once and not os.path.exists(live_path):
+        print(f"watch: no event stream at {live_path}", file=sys.stderr)
+        return 2
+
+    state = WatchState()
+    offset = 0
+    spans_seen = 0
+    spans_offset = 0
+    metrics_seen = 0
+    metrics_offset = 0
+    waiting_note = False
+    while True:
+        if not os.path.exists(live_path):
+            if not waiting_note:
+                print(f"watch: waiting for {live_path} ...")
+                waiting_note = True
+            _time.sleep(max(0.05, args.interval))
+            continue
+        records, offset = tail_jsonl(live_path, offset)
+        state = replay(records, state)
+        span_records, spans_offset = tail_jsonl(spans_path, spans_offset)
+        spans_seen += len(span_records)
+        metric_records, metrics_offset = tail_jsonl(metrics_path, metrics_offset)
+        metrics_seen += len(metric_records)
+        print(
+            render_board(
+                state,
+                spans_seen=spans_seen or None,
+                metrics_seen=metrics_seen or None,
+            )
+        )
+        if state.finished or args.once:
+            return 0
+        _time.sleep(max(0.05, args.interval))
 
 
 def _cmd_trace(argv: List[str], no_obs: bool) -> int:
@@ -615,6 +888,10 @@ def main(argv: List[str] = None) -> int:
         return _cmd_run_all(argv[1:], no_obs)
     if argv and argv[0] == "metrics":
         return _cmd_metrics(argv[1:], no_obs)
+    if argv and argv[0] == "profile":
+        return _cmd_profile(argv[1:], no_obs)
+    if argv and argv[0] == "watch":
+        return _cmd_watch(argv[1:])
     if argv and argv[0] == "trace":
         return _cmd_trace(argv[1:], no_obs)
     if argv and argv[0] == "spans":

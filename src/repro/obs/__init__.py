@@ -18,6 +18,27 @@ from __future__ import annotations
 
 from repro.obs.compare import compare_runs, load_run, render_compare
 from repro.obs.energy import EnergyLedger
+from repro.obs.live import (
+    LIVE_SCHEMA_VERSION,
+    LiveChannel,
+    LivePublisher,
+    LiveSink,
+    WatchState,
+    render_board,
+    replay,
+    tail_jsonl,
+)
+from repro.obs.profile import (
+    PROFILE_SCHEMA_VERSION,
+    KindRow,
+    collapse_stacks,
+    deterministic_records,
+    kind_baselines,
+    render_attribution,
+    rows_from_engine,
+    rows_from_manifest,
+    write_flame,
+)
 from repro.obs.history import (
     HISTORY_SCHEMA_VERSION,
     append_history,
@@ -50,20 +71,37 @@ __all__ = [
     "Gauge",
     "HISTORY_SCHEMA_VERSION",
     "Histogram",
+    "KindRow",
+    "LIVE_SCHEMA_VERSION",
+    "LiveChannel",
+    "LivePublisher",
+    "LiveSink",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_SPANS",
+    "PROFILE_SCHEMA_VERSION",
     "SPAN_SCHEMA_VERSION",
     "Span",
     "SpanRecorder",
     "Timeseries",
+    "WatchState",
     "append_history",
     "build_history_record",
+    "collapse_stacks",
     "compare_runs",
+    "deterministic_records",
+    "kind_baselines",
     "load_history",
     "load_run",
+    "render_attribution",
+    "render_board",
     "render_compare",
     "render_span_tree",
+    "replay",
+    "rows_from_engine",
+    "rows_from_manifest",
     "runtime",
+    "tail_jsonl",
     "write_bench_snapshot",
+    "write_flame",
 ]

@@ -8,6 +8,12 @@ perf-history records (:mod:`repro.obs.history`) and reports three things:
   but never fail the diff) with an absolute floor so sub-second noise on
   fast analytic experiments cannot trip CI;
 * **metric deltas** — events dispatched and heap high-water per experiment;
+* **per-kind attribution deltas** — when both runs carry profiler ``kinds``
+  baselines (profiler PR, v4 manifests), the diff names *which event kind*
+  moved: dispatch-count deltas and the kinds whose sampled wall grew past
+  the threshold. Attribution is advisory — sampled per-kind walls are
+  noisier than whole-run walls, so kind rows annotate a verdict but never
+  flip ``regressed`` on their own;
 * **determinism drift** — ``result_sha256`` mismatches at equal seed *and*
   equal code fingerprint, which by the runner's contract should be
   impossible and therefore always fails the diff.
@@ -134,6 +140,33 @@ def compare_runs(
                 }
             )
 
+    kind_rows: List[Dict[str, Any]] = []
+    base_kinds: Dict[str, Dict[str, Any]] = base.get("kinds") or {}
+    new_kinds: Dict[str, Dict[str, Any]] = new.get("kinds") or {}
+    for kind in sorted(set(base_kinds) & set(new_kinds)):
+        a, b = base_kinds[kind], new_kinds[kind]
+        wall_a = float(a.get("wall_s", 0.0))
+        wall_b = float(b.get("wall_s", 0.0))
+        delta_count = int(b.get("count", 0)) - int(a.get("count", 0))
+        ratio = (wall_b - wall_a) / wall_a if wall_a > 0 else 0.0
+        flagged = (
+            wall_a > 0
+            and max(wall_a, wall_b) >= min_wall_s
+            and ratio > wall_threshold
+        )
+        if delta_count or flagged:
+            kind_rows.append(
+                {
+                    "kind": kind,
+                    "component": b.get("component", a.get("component", "")),
+                    "base_wall_s": wall_a,
+                    "new_wall_s": wall_b,
+                    "ratio": round(ratio, 4),
+                    "delta_count": delta_count,
+                    "flagged": flagged,
+                }
+            )
+
     wall_regressions = [row for row in wall_rows if row["regressed"]]
     return {
         "type": "compare",
@@ -149,6 +182,8 @@ def compare_runs(
         "wall": wall_rows,
         "wall_regressions": [row["id"] for row in wall_regressions],
         "metric_deltas": metric_rows,
+        "kind_deltas": kind_rows,
+        "kind_regressions": [row["kind"] for row in kind_rows if row["flagged"]],
         "determinism_drift": drift_rows,
         "regressed": bool(wall_regressions or drift_rows),
     }
@@ -179,6 +214,13 @@ def render_compare(report: Dict[str, Any]) -> str:
         lines.append(
             f"  {row['id']:<8} events {row['delta_events_dispatched']:+d}  "
             f"heap-high-water {row['delta_heap_high_watermark']:+d}"
+        )
+    for row in report.get("kind_deltas", []):
+        flag = " <-- kind hot-spot" if row["flagged"] else ""
+        lines.append(
+            f"  kind {row['kind']:<22} {row['base_wall_s']:7.3f}s -> "
+            f"{row['new_wall_s']:7.3f}s ({row['ratio']:+7.1%}) "
+            f"count {row['delta_count']:+d}  [{row['component']}]{flag}"
         )
     if report["seeds_match"] and report["code_match"]:
         if report["determinism_drift"]:

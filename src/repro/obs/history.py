@@ -84,6 +84,13 @@ def build_history_record(
         (e["heap_high_watermark"] for e in experiments.values()), default=0
     )
     cache = manifest.get("cache", {})
+    # Per-event-kind baselines (v4+ manifests carry per-part attribution
+    # profiles): {kind: {component, count, wall_s}} folded across the whole
+    # run, so `repro compare` can name the kind behind a wall regression.
+    # Pre-v4 or --no-obs manifests simply yield {}.
+    from repro.obs.profile import kind_baselines, rows_from_manifest
+
+    kinds = kind_baselines(rows_from_manifest(manifest))
     return {
         "schema": HISTORY_SCHEMA_VERSION,
         "kind": "perf_history",
@@ -95,6 +102,7 @@ def build_history_record(
         "cache_enabled": bool(cache.get("enabled")),
         "totals": totals,
         "experiments": experiments,
+        "kinds": kinds,
     }
 
 

@@ -1,0 +1,431 @@
+"""Streaming run telemetry: watch a ``run-all`` while it runs.
+
+Everything `repro.obs` produced so far lands *after* the run — manifests,
+span trees, metric exports. This module is the during-the-run surface:
+
+* **Worker → parent channel** (:class:`LiveChannel` / :class:`LivePublisher`)
+  — a bounded multiprocessing queue pool workers publish lifecycle events
+  into. Publishing is strictly best-effort: a full queue, a dead manager
+  process, or a mid-pickle failure increments the publisher's ``dropped``
+  counter and the task carries on untouched (PR 5 semantics: telemetry
+  plumbing must never fail work). Drop counts ship back to the parent in
+  each :class:`~repro.runner.tasks.TaskOutcome` and surface in manifest
+  ``totals`` so truncation is visible, never silent.
+* **Event log** (:class:`LiveSink`) — the parent appends every lifecycle
+  event (``run.start``, ``part.state``, ``fault``, ``run.done``) to
+  ``run_live.jsonl`` as it happens, one fsync-free ``append_line`` per
+  event so a crash loses at most the final line.
+* **Watch renderer** (:func:`tail_jsonl`, :func:`replay`,
+  :func:`render_board`) — ``python -m repro watch`` tails the event log
+  (and the span/metric sidecars) incrementally, folds events into a
+  per-part state board — queued / running / retrying / cached / failed /
+  done — and estimates time-to-finish from the per-experiment wall
+  baselines ``perf_history.jsonl`` recorded on previous runs.
+
+This is deliberately a file-plus-fold pipeline rather than a socket: the
+future control-plane service can consume the exact same JSONL stream, and
+``watch`` works on a recorded log byte-for-byte like a live one (which is
+how it is tested).
+
+Live streaming is orthogonal to observability mode: ``--live`` works under
+``--no-obs`` (lifecycle events are runner bookkeeping, not simulation
+telemetry) and never influences results — result hashes are identical with
+the channel on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.ioutil import append_line, write_atomic
+
+#: Bump on any breaking change to the live event record layout.
+LIVE_SCHEMA_VERSION = 1
+
+#: Default event-log filename, written next to the run manifest.
+LIVE_FILENAME = "run_live.jsonl"
+
+#: Bound on the worker→parent queue. Deep enough that a healthy parent
+#: (draining every poll tick) never sees it full; shallow enough that a
+#: wedged parent costs workers a counter increment, not unbounded memory.
+DEFAULT_QUEUE_DEPTH = 1024
+
+#: Every part state the runner reports, in lifecycle order.
+PART_STATES = (
+    "queued",
+    "cached",
+    "submitted",
+    "running",
+    "retrying",
+    "done",
+    "failed",
+    "interrupted",
+)
+
+#: States that mean the part will consume no further wall-clock.
+TERMINAL_STATES = frozenset({"cached", "done", "failed", "interrupted"})
+
+
+class LivePublisher:
+    """Worker-side handle: publish lifecycle events, never fail the task.
+
+    Wraps a manager-queue proxy (picklable, so it rides inside the
+    :class:`~repro.runner.tasks.TaskSpec` into the pool). Every failure
+    mode of :meth:`publish` — queue full, manager process gone, connection
+    reset mid-pickle — is swallowed and tallied in :attr:`dropped`.
+    """
+
+    def __init__(self, queue: Any) -> None:
+        self._queue = queue
+        self.dropped = 0
+
+    def publish(self, record: Dict[str, Any]) -> bool:
+        """Best-effort enqueue; returns whether the record was accepted."""
+        try:
+            self._queue.put_nowait(record)
+            return True
+        except Exception:
+            self.dropped += 1
+            return False
+
+    def part_running(self, experiment: str, part: str, attempt: int) -> bool:
+        """Announce that this worker has started executing a part."""
+        return self.publish(
+            {
+                "type": "part.running",
+                "experiment": experiment,
+                "part": part,
+                "attempt": attempt,
+            }
+        )
+
+
+class LiveChannel:
+    """Parent-side owner of the worker→parent event queue.
+
+    Creates a ``multiprocessing.Manager`` server process whose queue proxy
+    survives ``pool.submit`` pickling (raw ``mp.Queue`` objects do not).
+    The parent drains it opportunistically from the runner's poll loop;
+    :meth:`close` tears the manager down and is safe to call twice.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_QUEUE_DEPTH) -> None:
+        import multiprocessing
+
+        self._manager = multiprocessing.Manager()
+        self._queue = self._manager.Queue(maxsize=maxsize)
+        self._closed = False
+
+    def publisher(self) -> LivePublisher:
+        """A fresh picklable publisher bound to this channel's queue."""
+        return LivePublisher(self._queue)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Every record currently queued, without blocking."""
+        records: List[Dict[str, Any]] = []
+        if self._closed:
+            return records
+        while True:
+            try:
+                records.append(self._queue.get_nowait())
+            except Exception:
+                # queue.Empty on the happy path; any manager failure also
+                # ends the drain — the channel is telemetry, not load-bearing.
+                break
+        return records
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._manager.shutdown()
+        except Exception:
+            pass
+
+
+class LiveSink:
+    """Append-only writer of the run's lifecycle event log.
+
+    One JSONL record per event, each carrying the schema version, a
+    monotonic sequence number, and seconds since the sink was opened.
+    Writes go through :func:`~repro.obs.ioutil.append_line`, so a crash
+    mid-run leaves a valid prefix of the stream (the watch tailer only
+    consumes complete lines anyway).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        expected_walls: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.path = str(path)
+        self.expected_walls = dict(expected_walls or {})
+        self._seq = 0
+        self._started = time.perf_counter()
+        write_atomic(self.path, "")  # truncate any previous run's stream
+
+    def emit(self, event_type: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event record and return it."""
+        self._seq += 1
+        record: Dict[str, Any] = {
+            "schema": LIVE_SCHEMA_VERSION,
+            "seq": self._seq,
+            "t_s": round(time.perf_counter() - self._started, 3),
+            "type": event_type,
+        }
+        record.update(fields)
+        try:
+            append_line(self.path, json.dumps(record, sort_keys=True))
+        except OSError:
+            pass  # a full disk must not sink the run the log describes
+        return record
+
+    def part_state(
+        self, experiment: str, part: str, state: str, **fields: Any
+    ) -> Dict[str, Any]:
+        """Append one part lifecycle transition."""
+        if state == "queued":
+            expected = self.expected_walls.get(experiment)
+            if expected is not None and "expected_wall_s" not in fields:
+                fields["expected_wall_s"] = round(expected, 3)
+        return self.emit(
+            "part.state", experiment=experiment, part=part, state=state, **fields
+        )
+
+    def ingest(self, record: Dict[str, Any]) -> None:
+        """Fold one worker-published record into the parent stream."""
+        if record.get("type") == "part.running":
+            self.part_state(
+                str(record.get("experiment", "")),
+                str(record.get("part", "")),
+                "running",
+                attempt=record.get("attempt"),
+            )
+
+
+def expected_walls(history_path: Union[str, Path]) -> Dict[str, float]:
+    """Latest measured wall-clock per experiment from a perf history file.
+
+    Scans ``perf_history.jsonl`` oldest→newest keeping, per experiment, the
+    most recent record that actually executed (cache-hit replays report
+    near-zero walls and would wreck the ETA). Missing or unreadable history
+    degrades to ``{}`` — the watch board then shows no ETA, nothing fails.
+    """
+    walls: Dict[str, float] = {}
+    try:
+        from repro.obs.history import load_history
+
+        for record in load_history(history_path):
+            experiments = record.get("experiments") or {}
+            if not isinstance(experiments, dict):
+                continue
+            for exp_id, entry in experiments.items():
+                if not isinstance(entry, dict) or entry.get("cache_hit"):
+                    continue
+                wall = entry.get("wall_s")
+                if isinstance(wall, (int, float)) and wall > 0:
+                    walls[str(exp_id)] = float(wall)
+    except Exception:
+        return {}
+    return walls
+
+
+def tail_jsonl(
+    path: Union[str, Path], offset: int = 0
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Incremental JSONL tail: records after ``offset``, plus the new offset.
+
+    Only complete, newline-terminated lines are consumed — a record the
+    writer is mid-append on stays unread until its newline lands, so the
+    returned offset can be fed straight back in next tick. Malformed lines
+    (torn writes from a crashed producer) are skipped, not fatal. A missing
+    file yields ``([], offset)``.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            blob = handle.read()
+    except OSError:
+        return [], offset
+    records: List[Dict[str, Any]] = []
+    consumed = 0
+    for line in blob.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            break
+        consumed += len(line)
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records, offset + consumed
+
+
+@dataclass
+class WatchState:
+    """Fold of a live event stream into a renderable run snapshot."""
+
+    run: Dict[str, Any] = field(default_factory=dict)
+    #: ``(experiment, part)`` → latest state record for that part.
+    parts: Dict[Tuple[str, str], Dict[str, Any]] = field(default_factory=dict)
+    #: Part-order as first seen, so the board is stable across refreshes.
+    order: List[Tuple[str, str]] = field(default_factory=list)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    done: Optional[Dict[str, Any]] = None
+    last_t_s: float = 0.0
+    events: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.done is not None
+
+    def counts(self) -> Dict[str, int]:
+        """How many parts sit in each lifecycle state right now."""
+        tally = {state: 0 for state in PART_STATES}
+        for part in self.parts.values():
+            state = part.get("state", "queued")
+            tally[state] = tally.get(state, 0) + 1
+        return tally
+
+    def eta_s(self, jobs: Optional[int] = None) -> Optional[float]:
+        """Crude time-to-finish: expected remaining work over the pool width.
+
+        Sums the history-derived ``expected_wall_s`` of every part not yet
+        in a terminal state (parts of the same experiment split its
+        expected wall evenly) and divides by the worker count. ``None``
+        when no baseline reached the stream — a cold repo has no history.
+        """
+        if self.finished:
+            return 0.0
+        remaining = 0.0
+        known = False
+        per_experiment: Dict[str, int] = {}
+        for exp_id, _part in self.parts:
+            per_experiment[exp_id] = per_experiment.get(exp_id, 0) + 1
+        for (exp_id, _name), record in self.parts.items():
+            if record.get("state") in TERMINAL_STATES:
+                continue
+            expected = record.get("expected_wall_s")
+            if isinstance(expected, (int, float)):
+                remaining += float(expected) / max(1, per_experiment[exp_id])
+                known = True
+        if not known:
+            return None
+        width = jobs or self.run.get("jobs") or 1
+        return remaining / max(1, int(width))
+
+
+def replay(
+    records: List[Dict[str, Any]], state: Optional[WatchState] = None
+) -> WatchState:
+    """Fold event records into a :class:`WatchState` (incrementally reusable).
+
+    Pass the previous tick's state back in with only the newly tailed
+    records; passing the full stream into a fresh state gives the same
+    result — the fold is associative over stream prefixes.
+    """
+    state = state or WatchState()
+    for record in records:
+        state.events += 1
+        t_s = record.get("t_s")
+        if isinstance(t_s, (int, float)):
+            state.last_t_s = max(state.last_t_s, float(t_s))
+        kind = record.get("type")
+        if kind == "run.start":
+            state.run = dict(record)
+        elif kind == "part.state":
+            key = (str(record.get("experiment", "")), str(record.get("part", "")))
+            if key not in state.parts:
+                state.order.append(key)
+                state.parts[key] = {}
+            previous = state.parts[key]
+            merged = dict(previous)
+            merged.update(record)
+            # A queued event's expected wall must survive later transitions.
+            if "expected_wall_s" in previous and "expected_wall_s" not in record:
+                merged["expected_wall_s"] = previous["expected_wall_s"]
+            state.parts[key] = merged
+        elif kind == "fault":
+            state.faults.append(dict(record))
+        elif kind == "run.done":
+            state.done = dict(record)
+    return state
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = max(0.0, seconds)
+    if seconds >= 90:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def render_board(
+    state: WatchState,
+    spans_seen: Optional[int] = None,
+    metrics_seen: Optional[int] = None,
+    max_parts: int = 40,
+) -> str:
+    """Render one watch refresh: header, per-part board, counters, footer."""
+    run = state.run
+    header = (
+        f"== watch == seed={run.get('seed', '?')} jobs={run.get('jobs', '?')} "
+        f"tasks={run.get('tasks', len(state.parts))} "
+        f"elapsed={state.last_t_s:.1f}s eta={_format_eta(state.eta_s())}"
+    )
+    lines = [header]
+    shown = state.order[:max_parts]
+    width = max([len(f"{e}:{p}") for e, p in shown] + [12])
+    for key in shown:
+        record = state.parts[key]
+        part_state = record.get("state", "queued")
+        detail = ""
+        if part_state in ("done", "cached") and record.get("wall_s") is not None:
+            detail = f"{record['wall_s']:.2f}s"
+        elif part_state in ("retrying", "running") and record.get("attempt"):
+            detail = f"attempt {record['attempt']}"
+        elif part_state == "failed" and record.get("error"):
+            detail = str(record["error"])[:60]
+        elif part_state == "queued":
+            expected = record.get("expected_wall_s")
+            if expected is not None:
+                detail = f"~{_format_eta(float(expected))}"
+        label = f"{key[0]}:{key[1]}"
+        lines.append(f"  {label:<{width}}  {part_state:<11} {detail}")
+    if len(state.order) > len(shown):
+        lines.append(f"  ... {len(state.order) - len(shown)} more part(s)")
+    tally = state.counts()
+    lines.append(
+        "  "
+        + "  ".join(
+            f"{name}={tally[name]}" for name in PART_STATES if tally[name]
+        )
+    )
+    if state.faults:
+        lines.append(f"  faults: {len(state.faults)} event(s)")
+    sidecars = []
+    if spans_seen is not None:
+        sidecars.append(f"spans={spans_seen}")
+    if metrics_seen is not None:
+        sidecars.append(f"metrics={metrics_seen}")
+    if sidecars:
+        lines.append("  sidecars: " + " ".join(sidecars))
+    if state.finished:
+        done = state.done or {}
+        lines.append(
+            f"  run done: ok={done.get('ok', '?')} failed={done.get('failed', '?')} "
+            f"cache_hits={done.get('cache_hits', '?')} wall={done.get('wall_s', '?')}s "
+            f"dropped(spans={done.get('spans_dropped', 0)}, "
+            f"live={done.get('live_dropped', 0)})"
+        )
+    return "\n".join(lines)

@@ -148,8 +148,8 @@ def aggregate_engine_stats(stats_list: Optional[Sequence[Any]] = None) -> Dict[s
     aggregate a slice (the runner uses this to attribute engine work to one
     in-process task). Returns a JSON-safe dict with total
     dispatched/cancelled event counts, the worst heap high-water mark, and
-    per-callback-name dispatch counts and cumulative wall-clock seconds
-    summed across simulators.
+    per-callback-name dispatch counts, cumulative wall-clock seconds,
+    owning components and sim-time bounds merged across simulators.
     """
     if stats_list is None:
         stats_list = list(_sim_stats)
@@ -158,6 +158,8 @@ def aggregate_engine_stats(stats_list: Optional[Sequence[Any]] = None) -> Dict[s
     heap_high_watermark = 0
     counts: Dict[str, int] = {}
     seconds: Dict[str, float] = {}
+    components: Dict[str, str] = {}
+    sim_bounds: Dict[str, List[float]] = {}
     for stats in stats_list:
         dispatched += stats.dispatched
         cancelled += stats.cancelled
@@ -166,6 +168,15 @@ def aggregate_engine_stats(stats_list: Optional[Sequence[Any]] = None) -> Dict[s
             counts[name] = counts.get(name, 0) + count
         for name, wall in stats.callback_wall_s.items():
             seconds[name] = seconds.get(name, 0.0) + wall
+        for name, component in stats.callback_components.items():
+            components.setdefault(name, component)
+        for name, (first, last) in stats.callback_sim_bounds.items():
+            bounds = sim_bounds.get(name)
+            if bounds is None:
+                sim_bounds[name] = [first, last]
+            else:
+                bounds[0] = min(bounds[0], first)
+                bounds[1] = max(bounds[1], last)
     return {
         "type": "engine",
         "simulators": len(stats_list),
@@ -174,6 +185,8 @@ def aggregate_engine_stats(stats_list: Optional[Sequence[Any]] = None) -> Dict[s
         "heap_high_watermark": heap_high_watermark,
         "callback_counts": counts,
         "callback_wall_s": seconds,
+        "callback_components": components,
+        "callback_sim_bounds": sim_bounds,
     }
 
 

@@ -156,6 +156,10 @@ class RunAllResult:
     fault_events: List[Dict[str, Any]] = field(default_factory=list)
     #: Cache keys quarantined as corrupt during the probe phase.
     quarantined: List[str] = field(default_factory=list)
+    #: Span records lost to retention caps (parent recorder + workers).
+    spans_dropped: int = 0
+    #: Live events workers failed to enqueue on the streaming channel.
+    live_dropped: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -353,6 +357,7 @@ def run_all(
     retries: int = 0,
     task_timeout_s: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
+    live_sink: Optional[Any] = None,
 ) -> RunAllResult:
     """Regenerate the selected experiments, in parallel and cached.
 
@@ -389,6 +394,12 @@ def run_all(
         during execution. Tasks carrying worker directives are forced to
         execute even on a warm cache (a fault that never fires tests
         nothing); retried attempts always run clean.
+    live_sink:
+        A :class:`~repro.obs.live.LiveSink` to stream lifecycle events
+        into (``run.start`` / ``part.state`` / ``fault`` / ``run.done``).
+        Pool workers additionally publish their own ``running``
+        transitions over a bounded queue. ``None`` (default) streams
+        nothing; the sink never influences execution or results.
     """
     started = time.perf_counter()
     ordered_ids = resolve_ids(ids)
@@ -474,16 +485,50 @@ def run_all(
     effective_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     effective_jobs = max(1, min(effective_jobs, max(total_tasks, 1)))
 
+    # Stream the opening roster: the run header, every cache hit, every
+    # queued task, and the bound fault directives. From here on the sink
+    # receives each state transition as it happens.
+    if live_sink is not None:
+        live_sink.emit(
+            "run.start",
+            ids=list(ordered_ids),
+            experiments=len(planned),
+            tasks=total_tasks,
+            jobs=effective_jobs,
+            seed=seed,
+            retries=retries,
+        )
+        for plan in planned:
+            for task, key in zip(plan.tasks, plan.keys):
+                if hits[key]:
+                    live_sink.part_state(task.experiment_id, task.part, "cached")
+        for state in pending:
+            live_sink.part_state(state.task.experiment_id, state.task.part, "queued")
+        for event in fault_events:
+            live_sink.emit("fault", **event)
+
     outcomes: Dict[str, TaskOutcome] = {}  # key -> executed-task telemetry
     completed = 0
+    worker_spans_dropped = 0
+    live_dropped = 0
 
     def _record(state: _TaskState, outcome: TaskOutcome) -> None:
-        nonlocal completed
+        nonlocal completed, worker_spans_dropped, live_dropped
         completed += 1
+        worker_spans_dropped += outcome.spans_dropped
+        live_dropped += outcome.live_dropped
         state.failure_kind = None
         state.error = None
         results[state.key] = (outcome.result, outcome.wall_s)
         outcomes[state.key] = outcome
+        if live_sink is not None:
+            live_sink.part_state(
+                state.task.experiment_id,
+                state.task.part,
+                "done",
+                wall_s=round(outcome.wall_s, 3),
+                attempt=state.attempts,
+            )
         registry.histogram(
             "runner.part.wall_s", experiment=state.task.experiment_id
         ).observe(outcome.wall_s)
@@ -530,6 +575,14 @@ def run_all(
             )
             spans.end(synth, status="error", failure=kind)
         if state.attempts < max_attempts:
+            if live_sink is not None:
+                live_sink.part_state(
+                    state.task.experiment_id,
+                    state.task.part,
+                    "retrying",
+                    attempt=state.attempts,
+                    kind=kind,
+                )
             registry.counter(
                 "runner.parts.retried", experiment=state.task.experiment_id
             ).inc()
@@ -544,6 +597,15 @@ def run_all(
         state.failure_kind = kind
         state.error = message
         errors[state.key] = message
+        if live_sink is not None:
+            live_sink.part_state(
+                state.task.experiment_id,
+                state.task.part,
+                "failed",
+                attempt=state.attempts,
+                kind=kind,
+                error=message,
+            )
         registry.counter(
             "runner.parts.failed", experiment=state.task.experiment_id
         ).inc()
@@ -566,6 +628,13 @@ def run_all(
             while queue and not guard.triggered:
                 state = queue.popleft()
                 state.attempts += 1
+                if live_sink is not None:
+                    live_sink.part_state(
+                        state.task.experiment_id,
+                        state.task.part,
+                        "running",
+                        attempt=state.attempts,
+                    )
                 sims_before = len(obs_runtime.simulator_stats())
                 task_span = spans.begin(
                     "runner.task",
@@ -606,6 +675,16 @@ def run_all(
             in_flight: Dict[Any, _TaskState] = {}  # future -> state
             deadlines: Dict[Any, float] = {}  # future -> submit time
             task_index = 0
+            live_channel = None
+            if live_sink is not None:
+                from repro.obs.live import LiveChannel
+
+                # Best-effort: a sandbox that cannot spawn the manager
+                # process costs the `running` transitions, nothing else.
+                try:
+                    live_channel = LiveChannel()
+                except Exception:
+                    live_channel = None
 
             def _rebuild_pool(requeued: int) -> None:
                 nonlocal pool
@@ -639,6 +718,11 @@ def run_all(
                     state.task,
                     obs=ctx,
                     faults=state.faults,
+                    live=(
+                        live_channel.publisher()
+                        if live_channel is not None
+                        else None
+                    ),
                     attempt=state.attempts,
                 )
                 try:
@@ -648,6 +732,13 @@ def run_all(
                     future = pool.submit(execute_task, spec)
                 in_flight[future] = state
                 deadlines[future] = time.perf_counter()
+                if live_sink is not None:
+                    live_sink.part_state(
+                        state.task.experiment_id,
+                        state.task.part,
+                        "submitted",
+                        attempt=state.attempts,
+                    )
 
             try:
                 while (queue or in_flight) and not guard.triggered:
@@ -662,6 +753,9 @@ def run_all(
                         timeout=_POLL_INTERVAL_S,
                         return_when=FIRST_COMPLETED,
                     )
+                    if live_channel is not None:
+                        for record in live_channel.drain():
+                            live_sink.ingest(record)
                     broken = False
                     for future in done:
                         state = in_flight.pop(future)
@@ -739,6 +833,10 @@ def run_all(
                         deadlines.clear()
                         _rebuild_pool(requeued)
             finally:
+                if live_channel is not None:
+                    for record in live_channel.drain():
+                        live_sink.ingest(record)
+                    live_channel.close()
                 # Snapshot the worker processes BEFORE shutdown: the
                 # executor nulls out ``_processes`` as part of shutdown,
                 # and an unterminated hung worker would block interpreter
@@ -764,6 +862,10 @@ def run_all(
                 state.failure_kind = "interrupted"
                 state.error = "interrupted before completion"
                 errors[state.key] = state.error
+                if live_sink is not None:
+                    live_sink.part_state(
+                        state.task.experiment_id, state.task.part, "interrupted"
+                    )
 
     # Merge parts, shape-check, and assemble the per-experiment records.
     states_by_key = {state.key: state for state in pending}
@@ -832,6 +934,18 @@ def run_all(
         for record in spans.to_records()
         if record["span_id"] not in prior_ids
     ]
+    spans_dropped = spans.dropped + worker_spans_dropped
+    if live_sink is not None:
+        live_sink.emit(
+            "run.done",
+            ok=ok_count,
+            failed=len(runs) - ok_count,
+            cache_hits=sum(1 for run in runs if run.cache_hit),
+            wall_s=round(wall_s, 3),
+            interrupted=interrupted,
+            spans_dropped=spans_dropped,
+            live_dropped=live_dropped,
+        )
     return RunAllResult(
         runs=runs,
         jobs=effective_jobs,
@@ -847,4 +961,6 @@ def run_all(
         fault_plan=fault_plan.describe() if fault_plan is not None else None,
         fault_events=fault_events,
         quarantined=list(cache.quarantine_events) if cache is not None else [],
+        spans_dropped=spans_dropped,
+        live_dropped=live_dropped,
     )

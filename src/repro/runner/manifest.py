@@ -38,7 +38,10 @@ from repro.runner.core import RunAllResult
 #: v3 (robustness PR): per-part ``attempts``/``timed_out``/``failure_kind``/
 #: ``error``, top-level ``interrupted``/``retries``/``task_timeout_s``, and
 #: ``faults`` + ``cache.quarantined`` sections.
-MANIFEST_SCHEMA_VERSION = 3
+#: v4 (profiler PR): per-part ``engine.profile`` attribution maps
+#: (per event kind: component, dispatch count, sampled wall, sim-time
+#: bounds) and ``spans_dropped``/``live_dropped`` in totals.
+MANIFEST_SCHEMA_VERSION = 4
 
 #: Default output filename.
 MANIFEST_FILENAME = "run_manifest.json"
@@ -73,13 +76,34 @@ PART_KEYS = (
 
 
 def _part_engine(engine: Dict[str, Any]) -> Dict[str, Any]:
-    """Compact per-part engine summary (callback breakdowns stay in spans
-    exports; the manifest carries the headline numbers)."""
+    """Compact per-part engine summary plus the attribution profile.
+
+    Headline numbers as before; ``profile`` maps each event kind the part
+    dispatched to its owning component, exact dispatch count, sampled
+    wall-clock and sim-time bounds — the raw material of ``repro profile``
+    and the per-kind baselines in ``perf_history.jsonl``. Empty for cache
+    hits and ``--no-obs`` parts (simulators then keep no profile at all).
+    """
+    counts = engine.get("callback_counts") or {}
+    walls = engine.get("callback_wall_s") or {}
+    components = engine.get("callback_components") or {}
+    bounds = engine.get("callback_sim_bounds") or {}
+    profile = {}
+    for kind in sorted(counts):
+        window = bounds.get(kind)
+        profile[kind] = {
+            "component": str(components.get(kind, "")),
+            "count": int(counts[kind]),
+            "wall_s": round(float(walls.get(kind, 0.0)), 6),
+            "sim_first_s": None if window is None else window[0],
+            "sim_last_s": None if window is None else window[1],
+        }
     return {
         "simulators": int(engine.get("simulators", 0)),
         "dispatched": int(engine.get("dispatched", 0)),
         "cancelled": int(engine.get("cancelled", 0)),
         "heap_high_watermark": int(engine.get("heap_high_watermark", 0)),
+        "profile": profile,
     }
 
 
@@ -167,6 +191,8 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
             "wall_s": round(run.wall_s, 3),
             "events_dispatched": events_dispatched,
             "retried_parts": retried_parts,
+            "spans_dropped": run.spans_dropped,
+            "live_dropped": run.live_dropped,
         },
         "spans": {
             "schema": SPAN_SCHEMA_VERSION,

@@ -19,6 +19,14 @@ name is timed with ``perf_counter`` and scaled), which keeps the profiled
 dispatch loop within a few percent of the unobserved one. Profiling never
 touches simulation time or any random stream, so observed and unobserved
 runs produce identical results.
+
+Each event kind is additionally attributed to a *component* — the class (or
+module) that owns its callback, resolved once on the kind's first dispatch —
+and to the sim-time window it was active in (first/last dispatch time).
+Counts, components and sim-time bounds are exactly reproducible at equal
+seed; only the sampled wall-clock varies between hosts. The attribution
+profiler (:mod:`repro.obs.profile`) turns these into hot-spot tables and
+collapsed-stack flame output.
 """
 
 from __future__ import annotations
@@ -36,6 +44,32 @@ from repro.obs import runtime as obs_runtime
 #: exact; only the timing is sampled.
 TIMING_STRIDE = 4
 _TIMING_MASK = TIMING_STRIDE - 1
+
+
+def _component_of(callback: Callable[..., Any]) -> str:
+    """Dotted owner of a callback, resolved once per event kind.
+
+    Bound methods attribute to their class (``repro.core.injector.PowerInjector``),
+    plain functions to their defining module (plus the enclosing scope for
+    nested functions), ``functools.partial`` unwraps to its target. The
+    result is a pure function of the code object, so attribution is
+    identical across runs and hosts.
+    """
+    func = getattr(callback, "func", None)  # functools.partial
+    if func is not None and callable(func):
+        return _component_of(func)
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        cls = owner if isinstance(owner, type) else type(owner)
+        module = getattr(cls, "__module__", "") or "builtins"
+        return f"{module}.{cls.__qualname__}"
+    module = getattr(callback, "__module__", None) or "unknown"
+    qualname = (getattr(callback, "__qualname__", "") or "").replace(
+        ".<locals>", ""
+    )
+    if "." in qualname:
+        return f"{module}.{qualname.rsplit('.', 1)[0]}"
+    return module
 
 
 class SimulatorStats:
@@ -56,6 +90,11 @@ class SimulatorStats:
         Cumulative host wall-clock seconds per event name, estimated by
         timing every :data:`TIMING_STRIDE`-th occurrence (only populated
         when profiling is on).
+    callback_components:
+        Owning component per event name (class or module of the callback),
+        resolved on the kind's first dispatch.
+    callback_sim_bounds:
+        ``name -> [first, last]`` simulation times the kind dispatched at.
     """
 
     __slots__ = (
@@ -64,6 +103,7 @@ class SimulatorStats:
         "cancelled",
         "heap_high_watermark",
         "_profile",
+        "_components",
     )
 
     def __init__(self, profiling: bool = True) -> None:
@@ -71,9 +111,10 @@ class SimulatorStats:
         self.dispatched = 0
         self.cancelled = 0
         self.heap_high_watermark = 0
-        # name -> [count, wall_s]; one dict lookup per dispatch keeps the
-        # profiled run loop tight.
+        # name -> [count, wall_s, sim_first_s, sim_last_s]; one dict lookup
+        # per dispatch keeps the profiled run loop tight.
         self._profile: Dict[str, List[float]] = {}
+        self._components: Dict[str, str] = {}
 
     @property
     def callback_counts(self) -> Dict[str, int]:
@@ -84,6 +125,18 @@ class SimulatorStats:
     def callback_wall_s(self) -> Dict[str, float]:
         """Cumulative wall-clock seconds per event name."""
         return {name: entry[1] for name, entry in self._profile.items()}
+
+    @property
+    def callback_components(self) -> Dict[str, str]:
+        """Owning component per event name."""
+        return dict(self._components)
+
+    @property
+    def callback_sim_bounds(self) -> Dict[str, List[float]]:
+        """``[first, last]`` dispatch sim-times per event name."""
+        return {
+            name: [entry[2], entry[3]] for name, entry in self._profile.items()
+        }
 
     @property
     def total_wall_s(self) -> float:
@@ -108,6 +161,8 @@ class SimulatorStats:
             "heap_high_watermark": self.heap_high_watermark,
             "callback_counts": self.callback_counts,
             "callback_wall_s": self.callback_wall_s,
+            "callback_components": self.callback_components,
+            "callback_sim_bounds": self.callback_sim_bounds,
         }
 
     def report(self, limit: int = 10) -> str:
@@ -318,7 +373,12 @@ class Simulator:
                 if profiling:
                     entry = profile.get(event.name)
                     if entry is None:
-                        entry = profile[event.name] = [0, 0.0]
+                        entry = profile[event.name] = [
+                            0, 0.0, event.time, event.time,
+                        ]
+                        stats._components[event.name] = _component_of(
+                            event.callback
+                        )
                     if entry[0] & _TIMING_MASK:
                         event.callback(*event.args)
                     else:
@@ -326,6 +386,7 @@ class Simulator:
                         event.callback(*event.args)
                         entry[1] += (clock() - started) * TIMING_STRIDE
                     entry[0] += 1
+                    entry[3] = event.time
                 else:
                     event.callback(*event.args)
                 dispatched_this_run += 1

@@ -1,0 +1,275 @@
+"""Live telemetry: publisher drop semantics, event log, tailing, watch board.
+
+Pins the streaming contract: publishing never fails work (drops are
+counted, not raised), the event log replays into the same state
+incrementally or in one batch, the tailer only consumes complete lines,
+and a ``--live`` run changes nothing about results.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.live import (
+    LIVE_SCHEMA_VERSION,
+    LivePublisher,
+    LiveSink,
+    WatchState,
+    expected_walls,
+    render_board,
+    replay,
+    tail_jsonl,
+)
+
+
+class _FullQueue:
+    def put_nowait(self, record):
+        raise RuntimeError("queue unavailable")
+
+
+class _ListQueue:
+    def __init__(self):
+        self.items = []
+
+    def put_nowait(self, record):
+        self.items.append(record)
+
+
+class TestPublisher:
+    def test_failures_count_drops_never_raise(self):
+        publisher = LivePublisher(_FullQueue())
+        assert publisher.publish({"type": "x"}) is False
+        assert publisher.part_running("fig5", "all", 1) is False
+        assert publisher.dropped == 2
+
+    def test_happy_path_enqueues(self):
+        queue = _ListQueue()
+        publisher = LivePublisher(queue)
+        assert publisher.part_running("fig5", "t=1", 2) is True
+        assert publisher.dropped == 0
+        assert queue.items == [
+            {"type": "part.running", "experiment": "fig5", "part": "t=1", "attempt": 2}
+        ]
+
+
+class TestLiveSink:
+    def test_events_are_sequenced_and_schema_stamped(self, tmp_path):
+        path = tmp_path / "run_live.jsonl"
+        sink = LiveSink(path)
+        sink.emit("run.start", jobs=2)
+        sink.part_state("fig5", "all", "queued")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["seq"] for r in records] == [1, 2]
+        assert all(r["schema"] == LIVE_SCHEMA_VERSION for r in records)
+        assert records[1]["state"] == "queued"
+
+    def test_sink_truncates_previous_stream(self, tmp_path):
+        path = tmp_path / "run_live.jsonl"
+        path.write_text('{"stale": true}\n')
+        LiveSink(path).emit("run.start")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 1 and "stale" not in records[0]
+
+    def test_queued_parts_carry_expected_wall(self, tmp_path):
+        sink = LiveSink(tmp_path / "l.jsonl", expected_walls={"fig5": 2.5})
+        record = sink.part_state("fig5", "all", "queued")
+        assert record["expected_wall_s"] == 2.5
+        assert "expected_wall_s" not in sink.part_state("fig8", "all", "queued")
+
+    def test_ingest_translates_worker_running(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        sink = LiveSink(path)
+        sink.ingest(
+            {"type": "part.running", "experiment": "fig5", "part": "t=1", "attempt": 1}
+        )
+        sink.ingest({"type": "unknown.noise"})  # ignored, not fatal
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["state"] == "running" and records[0]["part"] == "t=1"
+
+
+class TestTailJsonl:
+    def test_incremental_and_partial_lines(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"torn": ')
+        records, offset = tail_jsonl(path, 0)
+        assert records == [{"a": 1}, {"b": 2}]
+        # The torn tail is not consumed; completing it yields it next tick.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('3}\n')
+        more, offset = tail_jsonl(path, offset)
+        assert more == [{"torn": 3}]
+        assert tail_jsonl(path, offset) == ([], offset)
+
+    def test_malformed_lines_skipped_missing_file_empty(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('garbage\n{"ok": 1}\n')
+        records, _ = tail_jsonl(path, 0)
+        assert records == [{"ok": 1}]
+        assert tail_jsonl(tmp_path / "absent.jsonl", 0) == ([], 0)
+
+
+def recorded_stream():
+    """A recorded --live event stream: 3-part run, one retry, one failure."""
+    return [
+        {"schema": 1, "seq": 1, "t_s": 0.0, "type": "run.start", "jobs": 2,
+         "seed": 0, "tasks": 3, "ids": ["fig5", "fig8"], "experiments": 2},
+        {"schema": 1, "seq": 2, "t_s": 0.0, "type": "part.state",
+         "experiment": "fig5", "part": "t=1", "state": "queued",
+         "expected_wall_s": 4.0},
+        {"schema": 1, "seq": 3, "t_s": 0.0, "type": "part.state",
+         "experiment": "fig5", "part": "t=5", "state": "queued",
+         "expected_wall_s": 4.0},
+        {"schema": 1, "seq": 4, "t_s": 0.0, "type": "part.state",
+         "experiment": "fig8", "part": "all", "state": "queued"},
+        {"schema": 1, "seq": 5, "t_s": 0.1, "type": "part.state",
+         "experiment": "fig5", "part": "t=1", "state": "running", "attempt": 1},
+        {"schema": 1, "seq": 6, "t_s": 0.2, "type": "fault",
+         "point": "worker.crash", "task": "fig8:all"},
+        {"schema": 1, "seq": 7, "t_s": 0.5, "type": "part.state",
+         "experiment": "fig5", "part": "t=1", "state": "done", "wall_s": 0.4,
+         "attempt": 1},
+        {"schema": 1, "seq": 8, "t_s": 0.6, "type": "part.state",
+         "experiment": "fig8", "part": "all", "state": "retrying", "attempt": 1,
+         "kind": "pool_broken"},
+        {"schema": 1, "seq": 9, "t_s": 0.9, "type": "part.state",
+         "experiment": "fig8", "part": "all", "state": "failed", "attempt": 2,
+         "kind": "error", "error": "ValueError: boom"},
+    ]
+
+
+class TestReplayAndBoard:
+    def test_incremental_fold_equals_batch(self):
+        events = recorded_stream()
+        batch = replay(events)
+        incremental = WatchState()
+        for event in events:
+            incremental = replay([event], incremental)
+        assert incremental.parts == batch.parts
+        assert incremental.order == batch.order
+        assert incremental.run == batch.run
+        assert incremental.counts() == batch.counts()
+
+    def test_expected_wall_survives_transitions(self):
+        state = replay(recorded_stream())
+        assert state.parts[("fig5", "t=1")]["expected_wall_s"] == 4.0
+        assert state.parts[("fig5", "t=1")]["state"] == "done"
+
+    def test_eta_excludes_terminal_parts(self):
+        state = replay(recorded_stream())
+        # Unfinished with a baseline: only fig5:t=5 (4.0s over 2 parts of
+        # fig5 = 2.0s expected), over 2 workers.
+        assert state.eta_s() == pytest.approx(1.0)
+        assert state.finished is False
+        state = replay(
+            [{"type": "run.done", "t_s": 1.0, "ok": 1, "failed": 1}], state
+        )
+        assert state.finished and state.eta_s() == 0.0
+
+    def test_render_board_on_recorded_stream(self):
+        state = replay(recorded_stream())
+        board = render_board(state, spans_seen=12, metrics_seen=30)
+        assert "== watch ==" in board and "jobs=2" in board
+        assert "fig5:t=1" in board and "done" in board
+        assert "fig8:all" in board and "failed" in board
+        assert "ValueError: boom" in board
+        assert "faults: 1 event(s)" in board
+        assert "spans=12" in board and "metrics=30" in board
+        done = replay([{"type": "run.done", "ok": 1, "failed": 1,
+                        "cache_hits": 0, "wall_s": 1.0, "spans_dropped": 2,
+                        "live_dropped": 3}], state)
+        board = render_board(done)
+        assert "run done" in board
+        assert "dropped(spans=2, live=3)" in board
+
+
+class TestExpectedWalls:
+    def test_latest_executed_wall_wins_cache_hits_skipped(self, tmp_path):
+        path = tmp_path / "perf_history.jsonl"
+        records = [
+            {"experiments": {"fig5": {"wall_s": 4.0, "cache_hit": False}}},
+            {"experiments": {"fig5": {"wall_s": 0.001, "cache_hit": True},
+                             "fig8": {"wall_s": 2.0, "cache_hit": False}}},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        walls = expected_walls(path)
+        assert walls == {"fig5": 4.0, "fig8": 2.0}
+        assert expected_walls(tmp_path / "absent.jsonl") == {}
+
+
+class TestRunnerIntegration:
+    def test_live_run_streams_lifecycle_and_changes_nothing(self, tmp_path):
+        from repro.runner import run_all
+
+        path = tmp_path / "run_live.jsonl"
+        live = run_all(
+            ids=["fig9", "table1"], jobs=1, use_cache=False,
+            live_sink=LiveSink(path),
+        )
+        plain = run_all(ids=["fig9", "table1"], jobs=1, use_cache=False)
+        for key in ("fig9", "table1"):
+            assert (
+                live.run_for(key).result_sha256 == plain.run_for(key).result_sha256
+            ), f"{key}: --live changed the result"
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        types = [event["type"] for event in events]
+        assert types[0] == "run.start" and types[-1] == "run.done"
+        states = [e["state"] for e in events if e["type"] == "part.state"]
+        assert states.count("queued") == 2
+        assert states.count("running") == 2
+        assert states.count("done") == 2
+        assert events[-1]["spans_dropped"] == 0
+        assert events[-1]["live_dropped"] == 0
+
+    def test_pool_run_streams_worker_running_events(self, tmp_path):
+        from repro.runner import run_all
+
+        path = tmp_path / "run_live.jsonl"
+        result = run_all(
+            ids=["fig9", "table1"], jobs=2, use_cache=False,
+            live_sink=LiveSink(path),
+        )
+        assert result.ok
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        states = [e["state"] for e in events if e["type"] == "part.state"]
+        assert states.count("submitted") == 2
+        assert states.count("running") == 2, states
+        assert states.count("done") == 2
+
+    def test_drop_counters_land_in_manifest_totals(self, tmp_path):
+        from repro.runner import run_all
+        from repro.runner.manifest import build_manifest
+
+        result = run_all(ids=["table1"], jobs=1, use_cache=False)
+        totals = build_manifest(result)["totals"]
+        assert totals["spans_dropped"] == 0
+        assert totals["live_dropped"] == 0
+
+
+class TestWatchCli:
+    def test_watch_once_renders_recorded_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "run_live.jsonl"
+        stream = recorded_stream() + [
+            {"type": "run.done", "t_s": 1.0, "ok": 1, "failed": 1,
+             "cache_hits": 0, "wall_s": 1.0},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in stream))
+        assert main(["watch", "--dir", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "== watch ==" in out and "run done" in out
+
+    def test_watch_follows_until_run_done(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "run_live.jsonl"
+        stream = recorded_stream() + [{"type": "run.done", "ok": 2, "failed": 0}]
+        path.write_text("".join(json.dumps(e) + "\n" for e in stream))
+        assert main(["watch", "--file", str(path), "--interval", "0.05"]) == 0
+
+    def test_watch_once_missing_stream_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["watch", "--dir", str(tmp_path), "--once"]) == 2
+        assert "no event stream" in capsys.readouterr().err
