@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.lint.findings import Finding
 
@@ -41,6 +41,62 @@ def apply_baseline(
         if entry is not None and entry.get("code") == finding.code:
             finding.baselined = True
     return list(findings)
+
+
+def stale_entries(
+    findings: Sequence[Finding],
+    baseline: Dict[str, Dict[str, object]],
+    covered_paths: Optional[Set[str]] = None,
+) -> List[Dict[str, object]]:
+    """Baseline entries whose fingerprint matches no current finding.
+
+    A stale entry means the grandfathered code was fixed or deleted — the
+    entry is dead weight that would silently re-admit a regression with
+    the same fingerprint. ``covered_paths`` (the files this run actually
+    linted, root-relative) scopes the check: an entry for an unlinted file
+    is unknown, not stale — subtree runs must not cry wolf about (or
+    prune) entries they never re-evaluated.
+    """
+    matched = {finding.fingerprint for finding in findings}
+    stale: List[Dict[str, object]] = []
+    for fingerprint, entry in sorted(baseline.items()):
+        if fingerprint in matched:
+            continue
+        if covered_paths is not None and str(entry.get("path")) not in covered_paths:
+            continue
+        stale.append(dict(entry))
+    return stale
+
+
+def prune_baseline(
+    findings: Sequence[Finding],
+    path: Path,
+    covered_paths: Optional[Set[str]] = None,
+) -> int:
+    """Drop stale entries from the baseline file; returns how many.
+
+    Surviving entries keep their justifications verbatim — pruning only
+    ever removes, it never regenerates. Staleness is scoped by
+    ``covered_paths`` exactly as in :func:`stale_entries`.
+    """
+    baseline = load_baseline(path)
+    if not baseline:
+        return 0
+    stale = {
+        str(entry.get("fingerprint"))
+        for entry in stale_entries(findings, baseline, covered_paths)
+    }
+    if not stale:
+        return 0
+    kept = [
+        entry
+        for fingerprint, entry in baseline.items()
+        if fingerprint not in stale
+    ]
+    kept.sort(key=lambda e: (str(e.get("path")), str(e.get("code")), e.get("line", 0)))
+    document = {"version": BASELINE_VERSION, "entries": kept}
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(stale)
 
 
 def write_baseline(findings: Sequence[Finding], path: Path) -> int:

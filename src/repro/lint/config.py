@@ -71,6 +71,10 @@ class LintConfig:
     exclude: Tuple[str, ...] = ()
     disable: Tuple[str, ...] = ()
     severity_overrides: Dict[str, Severity] = field(default_factory=dict)
+    #: Per-tree rule subsets (``[tool.repro-lint.tree-rules]``): first path
+    #: segment relative to the root ("tests", "tools", "benchmarks") -> the
+    #: codes allowed there. Trees without an entry run every enabled rule.
+    tree_rules: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     #: Directory baseline/exclude paths resolve against (pyproject's home).
     root: Optional[Path] = None
 
@@ -83,6 +87,18 @@ class LintConfig:
 
     def rule_enabled(self, code: str) -> bool:
         return code.upper() not in {c.upper() for c in self.disable}
+
+    def codes_for_display_path(self, display: str) -> Optional[Tuple[str, ...]]:
+        """The per-tree rule subset for a root-relative path, or None.
+
+        ``None`` means "no restriction" (every enabled rule runs); the
+        synthetic PW000 syntax-error code is always allowed regardless.
+        """
+        tree = display.replace("\\", "/").split("/", 1)[0]
+        codes = self.tree_rules.get(tree)
+        if codes is None:
+            return None
+        return tuple(sorted({*(c.upper() for c in codes), "PW000"}))
 
     def severity_for(self, code: str, default: Severity) -> Severity:
         return self.severity_overrides.get(code.upper(), default)
@@ -190,6 +206,9 @@ def load_config(
     overrides: Dict[str, Severity] = {}
     for code, name in dict(table.get("severity", {})).items():
         overrides[str(code).upper()] = Severity.parse(str(name))
+    tree_rules: Dict[str, Tuple[str, ...]] = {}
+    for tree, codes in dict(table.get("tree-rules", {})).items():
+        tree_rules[str(tree)] = tuple(str(code).upper() for code in codes)
     return LintConfig(
         sim_packages=str_tuple("sim-packages", DEFAULT_SIM_PACKAGES),
         unit_suffixes=str_tuple("unit-suffixes", DEFAULT_UNIT_SUFFIXES),
@@ -198,5 +217,6 @@ def load_config(
         exclude=str_tuple("exclude", ()),
         disable=str_tuple("disable", ()),
         severity_overrides=overrides,
+        tree_rules=tree_rules,
         root=pyproject.parent,
     )

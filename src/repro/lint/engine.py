@@ -10,7 +10,7 @@ from __future__ import annotations
 import ast
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Iterable, List, Optional
+from typing import FrozenSet, Iterable, List, Optional
 
 from repro.lint import baseline as baseline_mod
 from repro.lint.config import LintConfig
@@ -24,6 +24,7 @@ def lint_source(
     path: str = "<string>",
     module: str = "repro.sim.snippet",
     config: Optional[LintConfig] = None,
+    codes: Optional[FrozenSet[str]] = None,
 ) -> List[Finding]:
     """Lint one module given as a string; pragma-suppressed findings are
     dropped, the baseline is *not* consulted (no filesystem involved).
@@ -53,13 +54,27 @@ def lint_source(
         config=config,
         imports=build_import_map(tree),
     )
-    findings = run_rules(ctx)
+    findings = run_rules(ctx, codes)
     pragmas = collect_pragmas(source)
     findings = [
         f for f in findings if not is_suppressed(pragmas, f.line, f.code)
     ]
     assign_occurrences(findings)
     return findings
+
+
+def display_path(path: Path, config: LintConfig) -> str:
+    """Root-relative POSIX display form of ``path`` (fingerprint input).
+
+    Paths are reported relative to the config root (the ``pyproject.toml``
+    directory) when possible, so fingerprints are machine-independent.
+    """
+    if config.root is not None:
+        try:
+            return path.relative_to(config.root).as_posix()
+        except ValueError:
+            pass
+    return str(path)
 
 
 def iter_python_files(paths: Iterable[Path], config: LintConfig) -> List[Path]:
@@ -98,19 +113,16 @@ def lint_paths(
     config = config or LintConfig()
     findings: List[Finding] = []
     for path in iter_python_files([Path(p) for p in paths], config):
-        display = str(path)
-        if config.root is not None:
-            try:
-                display = path.relative_to(config.root).as_posix()
-            except ValueError:
-                pass
+        display = display_path(path, config)
         source = path.read_text(encoding="utf-8")
+        tree_codes = config.codes_for_display_path(display)
         findings.extend(
             lint_source(
                 source,
                 path=display,
                 module=module_name_for(path),
                 config=config,
+                codes=frozenset(tree_codes) if tree_codes is not None else None,
             )
         )
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))

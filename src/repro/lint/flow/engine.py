@@ -1,0 +1,207 @@
+"""The ``--flow`` driver: whole-program lint with an incremental cache.
+
+:func:`flow_lint_paths` is the CLI's flow entry point. One pass produces
+*both* finding layers — per-file PW0xx (run on the tree parsed here, so
+nothing is parsed twice) and interprocedural PW1xx (run over the
+:class:`~repro.lint.flow.index.ProjectIndex` built from every module's
+facts). The cache makes the warm path cheap: an unchanged module is
+neither parsed nor re-analysed — its facts *and* its per-file findings
+replay from :class:`~repro.lint.flow.cache.FlowCache`.
+
+:func:`flow_lint_sources` is the fixture entry point for tests: in-memory
+modules in, flow findings out, no filesystem or cache involved.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.config import LintConfig
+from repro.lint.engine import display_path, iter_python_files
+from repro.lint.findings import Finding, Severity, assign_occurrences
+from repro.lint.flow.cache import FlowCache, content_hash
+from repro.lint.flow.index import ModuleFacts, ProjectIndex, extract_facts
+from repro.lint.flow.rules import run_flow_rules
+from repro.lint.pragmas import collect_pragmas, is_suppressed
+from repro.lint.rules import (
+    FileContext,
+    build_import_map,
+    module_name_for,
+    run_rules,
+)
+
+
+@dataclass
+class FlowStats:
+    """How much work the flow pass actually did (stderr telemetry)."""
+
+    files: int = 0
+    parsed: int = 0
+    reused: int = 0
+    flow_findings: int = 0
+    cache_loaded: bool = False
+
+    def summary(self) -> str:
+        return (
+            f"flow: {self.files} file(s), {self.parsed} parsed, "
+            f"{self.reused} reused from cache, "
+            f"{self.flow_findings} interprocedural finding(s)"
+        )
+
+
+def _syntax_finding(display: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        code="PW000",
+        message=f"syntax error: {exc.msg}",
+        path=display,
+        line=exc.lineno or 1,
+        column=(exc.offset or 1) - 1,
+        severity=Severity.ERROR,
+    )
+
+
+def _lint_parsed(
+    source: str,
+    tree: ast.AST,
+    display: str,
+    module: str,
+    config: LintConfig,
+    codes: Optional[Tuple[str, ...]],
+) -> List[Finding]:
+    """Per-file rules on an already-parsed tree (mirrors ``lint_source``)."""
+    ctx = FileContext(
+        path=display,
+        module=module,
+        source=source,
+        tree=tree,
+        config=config,
+        imports=build_import_map(tree),
+    )
+    findings = run_rules(ctx, frozenset(codes) if codes is not None else None)
+    pragmas = collect_pragmas(source)
+    return [f for f in findings if not is_suppressed(pragmas, f.line, f.code)]
+
+
+def _tree_filter(
+    findings: Iterable[Finding], config: LintConfig
+) -> List[Finding]:
+    """Drop findings whose code is outside their tree's rule subset."""
+    kept: List[Finding] = []
+    for finding in findings:
+        codes = config.codes_for_display_path(finding.path)
+        if codes is not None and finding.code not in codes:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def flow_lint_paths(
+    paths: Iterable[str],
+    config: Optional[LintConfig] = None,
+    use_baseline: bool = True,
+    use_cache: bool = True,
+    cache_path: Optional[Path] = None,
+    changed_only: bool = False,
+) -> Tuple[List[Finding], FlowStats]:
+    """Whole-program lint of files/directories.
+
+    Returns every finding (baselined ones marked) plus a
+    :class:`FlowStats`. With ``changed_only``, findings are restricted to
+    files whose content hash differs from the loaded cache — documented
+    tradeoff: an interprocedural finding *landing* in an unchanged file is
+    suppressed from the report (it stays in the full run), which is the
+    right shape for fast pre-commit iteration, not for CI gates.
+    """
+    config = config or LintConfig()
+    stats = FlowStats()
+    cache = FlowCache.for_config(config, cache_path)
+    if use_cache:
+        stats.cache_loaded = cache.load()
+
+    facts_list: List[ModuleFacts] = []
+    file_findings: List[Finding] = []
+    displays: List[str] = []
+    changed: Set[str] = set()
+
+    for path in iter_python_files([Path(p) for p in paths], config):
+        display = display_path(path, config)
+        source = path.read_text(encoding="utf-8")
+        digest = content_hash(source)
+        stats.files += 1
+        displays.append(display)
+
+        previous = cache.entries.get(display)
+        if previous is None or previous.digest != digest:
+            changed.add(display)
+
+        entry = cache.entry_for(display, digest) if use_cache else None
+        if entry is not None:
+            stats.reused += 1
+            facts_list.append(entry.facts)
+            file_findings.extend(entry.findings)
+            continue
+
+        stats.parsed += 1
+        module = module_name_for(path)
+        codes = config.codes_for_display_path(display)
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            finding = _syntax_finding(display, exc)
+            file_findings.append(finding)
+            cache.put(
+                display,
+                digest,
+                ModuleFacts(module=module, path=display),
+                [finding],
+            )
+            continue
+        found = _lint_parsed(source, tree, display, module, config, codes)
+        facts = extract_facts(source, display, module, config, tree=tree)
+        file_findings.extend(found)
+        facts_list.append(facts)
+        cache.put(display, digest, facts, found)
+
+    index = ProjectIndex(facts_list, config)
+    flow_findings = _tree_filter(run_flow_rules(index, config), config)
+    stats.flow_findings = len(flow_findings)
+
+    findings = file_findings + flow_findings
+    if changed_only:
+        findings = [f for f in findings if f.path in changed]
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code, f.message))
+    assign_occurrences(findings)
+    if use_baseline:
+        known = baseline_mod.load_baseline(config.baseline_path)
+        baseline_mod.apply_baseline(findings, known)
+    if use_cache:
+        cache.prune_to(displays)
+        cache.save()
+    return findings, stats
+
+
+def flow_lint_sources(
+    modules: Dict[str, str], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Run only the interprocedural rules over in-memory modules.
+
+    ``modules`` maps dotted module names to source text; paths are
+    synthesised (``repro.sim.engine`` -> ``repro/sim/engine.py``). This is
+    the unit-test entry point — no cache, no baseline, no filesystem.
+    """
+    config = config or LintConfig()
+    facts_list: List[ModuleFacts] = []
+    for module in sorted(modules):
+        source = modules[module]
+        display = module.replace(".", "/") + ".py"
+        facts_list.append(
+            extract_facts(source, display, module, config)
+        )
+    index = ProjectIndex(facts_list, config)
+    findings = run_flow_rules(index, config)
+    assign_occurrences(findings)
+    return findings

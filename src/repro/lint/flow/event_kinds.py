@@ -1,0 +1,92 @@
+"""PW104: trace event kinds scheduled and handled inconsistently.
+
+Trace kinds are plain strings agreed on *across* modules: producers call
+``trace.emit(time, source, "kind", ...)`` (usually behind a
+``trace.wants("kind")`` guard) and consumers subscribe via ``wants``,
+``filter(kind=...)``, or ``enabled_kinds=[...]`` / ``trace_kinds=[...]``
+lists. Nothing checks the strings agree — a typo on either side silently
+drops the event, and the analysis that depended on it reads an empty
+trace.
+
+Two directions are checked project-wide:
+
+* a consumed kind that **no module ever emits** (dead subscription —
+  likely a typo of a real kind, or the producer was removed); only
+  checked when the index saw at least one emit, so linting a subtree
+  without the producers stays quiet;
+* an emit whose enclosing function guards on ``wants`` for *other* kinds
+  but not the one it emits (the emit escapes its own gate, so the
+  recorder receives kinds it never enabled).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.flow.index import ProjectIndex
+from repro.lint.flow.rules import FlowRule, register_flow
+
+
+@register_flow
+class EventKindMismatch(FlowRule):
+    """Match consumed event kinds against the project-wide emitted set."""
+
+    code = "PW104"
+    name = "event-kind-mismatch"
+    description = (
+        "A trace kind is consumed that nothing emits, or emitted past "
+        "its enclosing wants() guard."
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        emitted = index.emitted_kinds()
+
+        if emitted:
+            for module_name in sorted(index.modules):
+                facts = index.modules[module_name]
+                for consume in facts.consumes:
+                    if consume["kind"] in emitted:
+                        continue
+                    findings.append(
+                        self.finding(
+                            config,
+                            facts,
+                            consume,
+                            f"trace kind {consume['kind']!r} is consumed "
+                            f"(via {consume['form']}) but never emitted by "
+                            "any indexed module: the subscription is dead "
+                            "— emitted kinds are "
+                            f"{', '.join(sorted(emitted))}",
+                        )
+                    )
+
+        # wants-guard coverage: per (module, function), the set of kinds
+        # guarded via ``wants`` must cover every kind emitted there.
+        guards: Dict[Tuple[str, str], Set[str]] = {}
+        for module_name, facts in index.modules.items():
+            for consume in facts.consumes:
+                if consume["form"] != "wants":
+                    continue
+                key = (module_name, consume["caller"])
+                guards.setdefault(key, set()).add(consume["kind"])
+        for module_name in sorted(index.modules):
+            facts = index.modules[module_name]
+            for emit in facts.emits:
+                guarded = guards.get((module_name, emit["caller"]))
+                if not guarded or emit["kind"] in guarded:
+                    continue
+                findings.append(
+                    self.finding(
+                        config,
+                        facts,
+                        emit,
+                        f"emit of trace kind {emit['kind']!r} is not "
+                        "covered by this function's wants() guard "
+                        f"(which checks {', '.join(sorted(guarded))}): "
+                        "the event bypasses the recorder's kind gate",
+                    )
+                )
+        return findings

@@ -1,0 +1,71 @@
+"""PW102: unseeded randomness reachable from experiment entry points.
+
+The per-file PW002 flags global ``random.*`` draws wherever they appear;
+this rule answers the cross-module question PW002 cannot: *can an
+experiment actually reach one?* Entry points are the registry's
+``"module:callable"`` target literals (resolved against the index) plus
+every top-level function of ``*.experiments.*`` modules; sinks are the
+entropy sources recorded at extraction time (global ``random`` draws,
+bare ``random.Random``, ``os.urandom``/``getrandom``, ``secrets.*``,
+``uuid.uuid1``/``uuid4``, ``numpy.random.*``). Any sink whose enclosing
+function is reachable over the call graph is a determinism hole: results
+would differ between equal-seed runs.
+
+Sinks inside the sanctioned RNG module (``config.rng_module``) are exempt
+— routing entropy through :class:`repro.sim.rng.RandomStreams` is exactly
+the fix this rule pushes toward. Findings carry the shortest entry-to-sink
+chain so the report explains *why* the sink is reachable, and the BFS is
+order-stable so the chain never varies between runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.flow.index import ProjectIndex
+from repro.lint.flow.rules import FlowRule, register_flow
+
+
+@register_flow
+class UnseededReachability(FlowRule):
+    """Trace unseeded entropy sinks reachable from registry entry points."""
+
+    code = "PW102"
+    name = "unseeded-randomness-reachable"
+    description = (
+        "An experiment entry point can reach an entropy source that is "
+        "not routed through the seeded RandomStreams lineage."
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> List[Finding]:
+        entries = index.entry_nodes()
+        if not entries:
+            return []
+        parents = index.reachable_from(entries)
+        findings: List[Finding] = []
+        for module_name in sorted(index.modules):
+            if module_name == config.rng_module:
+                continue
+            facts = index.modules[module_name]
+            for sink in facts.sinks:
+                node = f"{module_name}:{sink['caller']}"
+                if node not in parents:
+                    # Methods are also reachable through their class node's
+                    # conservative fan-out; that edge exists in the graph,
+                    # so an absent node really is unreachable.
+                    continue
+                chain = " -> ".join(index.path_to(parents, node))
+                findings.append(
+                    self.finding(
+                        config,
+                        facts,
+                        sink,
+                        f"{sink['origin']} is reachable from an experiment "
+                        f"entry point ({chain}): draws here are not seeded "
+                        "by the run's RandomStreams lineage, so equal-seed "
+                        "runs diverge — route through a named stream",
+                    )
+                )
+        return findings

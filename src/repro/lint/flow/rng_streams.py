@@ -1,0 +1,71 @@
+"""PW101: RNG stream-name collisions across the project.
+
+``RandomStreams.stream(name)`` and ``.fork(name)`` derive child seeds from
+``sha256(parent_seed, name)`` — so two *different* components asking the
+same lineage for the same literal name receive byte-identical generators
+and their draws correlate perfectly. That silently couples supposedly
+independent noise processes (exactly the failure mode the named-stream
+design exists to prevent).
+
+A collision requires two call sites with the same literal name and the
+same derivation kind, owned by *different* top-level components (distinct
+``module:owner`` pairs). Sites whose receiver is itself fork-derived
+(``self.streams.stream("noise")`` where ``self.streams`` came from
+``root.fork(f"home{i}")``) are exempt: their lineages already diverge at
+the fork label, so equal leaf names cannot collide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.flow.index import ProjectIndex
+from repro.lint.flow.rules import FlowRule, register_flow
+
+
+@register_flow
+class RngStreamCollision(FlowRule):
+    """Flag equal literal stream names claimed by distinct components."""
+
+    code = "PW101"
+    name = "rng-stream-collision"
+    description = (
+        "Two distinct components derive an RNG stream from the same "
+        "lineage with the same literal name, so their draws correlate."
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> List[Finding]:
+        # (kind, name) -> list of (module, owner, facts, site).
+        groups: Dict[Tuple[str, str], List[Tuple[str, str, object, dict]]] = {}
+        for module_name in sorted(index.modules):
+            facts = index.modules[module_name]
+            for site in facts.streams:
+                if site.get("forked"):
+                    continue
+                key = (site["kind"], site["name"])
+                owner = f"{module_name}:{site['owner']}"
+                groups.setdefault(key, []).append(
+                    (module_name, owner, facts, site)
+                )
+
+        findings: List[Finding] = []
+        for (kind, name), sites in sorted(groups.items()):
+            owners = sorted({owner for _, owner, _, _ in sites})
+            if len(owners) < 2:
+                continue
+            for module_name, owner, facts, site in sites:
+                others = [o for o in owners if o != owner]
+                findings.append(
+                    self.finding(
+                        config,
+                        facts,  # type: ignore[arg-type]
+                        site,
+                        f".{kind}({name!r}) collides with the same name "
+                        f"derived by {', '.join(others)}: equal names on "
+                        "one lineage yield correlated draws — fork a "
+                        "per-component child first or rename the stream",
+                    )
+                )
+        return findings

@@ -1,0 +1,118 @@
+"""Flow-rule base class and the PW1xx registry.
+
+Interprocedural rules run once per *project* (not per file): they receive
+the fully built :class:`~repro.lint.flow.index.ProjectIndex` and return
+findings anchored at the call sites recorded in the module facts. The
+registry is deliberately separate from the per-file one in
+:mod:`repro.lint.rules` — per-file codes stay PW0xx, whole-program codes
+stay PW1xx, and neither namespace can shadow the other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.index import ModuleFacts, ProjectIndex
+
+
+class FlowRule:
+    """One interprocedural rule. Subclasses set attributes and ``check``."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> List[Finding]:
+        """Return every finding this rule derives from the project index."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        config: LintConfig,
+        facts: ModuleFacts,
+        site: Dict[str, Any],
+        message: str,
+    ) -> Finding:
+        """Build a finding at a recorded site (``line``/``col``/``text``)."""
+        return Finding(
+            code=self.code,
+            message=message,
+            path=facts.path,
+            line=int(site.get("line", 1)),
+            column=int(site.get("col", 0)),
+            severity=config.severity_for(self.code, self.default_severity),
+            line_text=str(site.get("text", "")),
+        )
+
+
+_FLOW_REGISTRY: Dict[str, Type[FlowRule]] = {}
+
+
+def register_flow(rule_cls: Type[FlowRule]) -> Type[FlowRule]:
+    """Class decorator adding ``rule_cls`` to the flow registry.
+
+    Codes must sit in the PW1xx range: the PW0xx space belongs to the
+    per-file rules and the two registries must never collide.
+    """
+    code = rule_cls.code.upper()
+    if not code.startswith("PW1") or not code[2:].isdigit():
+        raise ValueError(
+            f"flow rule code must look like 'PW1xx', got {rule_cls.code!r}"
+        )
+    existing = _FLOW_REGISTRY.get(code)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"duplicate flow rule code {code}: {existing} vs {rule_cls}"
+        )
+    _FLOW_REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def all_flow_rules() -> List[Type[FlowRule]]:
+    """Registered flow rule classes, ordered by code."""
+    _ensure_loaded()
+    return [_FLOW_REGISTRY[code] for code in sorted(_FLOW_REGISTRY)]
+
+
+def get_flow_rule(code: str) -> Type[FlowRule]:
+    _ensure_loaded()
+    try:
+        return _FLOW_REGISTRY[code.upper()]
+    except KeyError:
+        raise KeyError(f"no flow rule registered under {code!r}") from None
+
+
+def _ensure_loaded() -> None:
+    # Rule modules self-register on import; importing them lazily here
+    # avoids rules <-> rule-module import cycles.
+    import repro.lint.flow.event_kinds  # noqa: F401
+    import repro.lint.flow.pickle_safety  # noqa: F401
+    import repro.lint.flow.reachability  # noqa: F401
+    import repro.lint.flow.rng_streams  # noqa: F401
+    import repro.lint.flow.units_flow  # noqa: F401
+
+
+def run_flow_rules(
+    index: ProjectIndex, config: LintConfig
+) -> List[Finding]:
+    """Run every enabled flow rule over the index; pragma-suppressed
+    findings are dropped here so rules never need to consult pragmas."""
+    findings: List[Finding] = []
+    for rule_cls in all_flow_rules():
+        if not config.rule_enabled(rule_cls.code):
+            continue
+        findings.extend(rule_cls().check(index, config))
+    kept: List[Finding] = []
+    by_path = {facts.path: facts for facts in index.modules.values()}
+    for finding in findings:
+        facts = by_path.get(finding.path)
+        if facts is not None and index.is_suppressed(
+            facts, finding.line, finding.code
+        ):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.column, f.code, f.message))
+    return kept

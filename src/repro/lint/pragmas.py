@@ -1,10 +1,21 @@
 """``# lint: ignore[PW###]`` pragma parsing.
 
-A pragma suppresses findings *on its own physical line*:
+A pragma suppresses findings on the *logical statement* it is attached to:
 
 * ``# lint: ignore[PW001]`` — suppress PW001 here;
 * ``# lint: ignore[PW001,PW005]`` — suppress several codes;
-* ``# lint: ignore`` — suppress every rule on this line (use sparingly).
+* ``# lint: ignore`` — suppress every rule on this line (use sparingly);
+* ``# why it is safe; lint: ignore[PW001]`` — pragma after other comment
+  text, separated by a semicolon.
+
+"Attached" means the comment shares a logical line with code — at the end
+of a statement, or inside a parenthesized/backslash continuation. For a
+multi-line call the pragma therefore covers every physical line of the
+statement (findings anchor at argument lines, not only the first line). A
+pragma on a line of its *own* attaches to nothing: it suppresses only that
+line, so a comment-line pragma never silently blankets the statement below
+it, and decorator lines do not leak suppression into the decorated ``def``
+(each decorator is its own logical line).
 
 Anything after the closing bracket is free-form justification and is
 encouraged — a pragma without a *why* is a smell the next reader inherits.
@@ -17,41 +28,89 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Set
 
-#: Matches the pragma comment; group 1 is the optional bracketed code list.
-_PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+#: Matches the pragma; group 1 is the optional bracketed code list. The
+#: pragma either opens the comment (``# lint: ignore[...]``) or follows
+#: other comment text after a semicolon (``# seeded fixture; lint:
+#: ignore[...]``) — free-running prose that merely mentions "lint: ignore"
+#: is not a pragma.
+_PRAGMA_RE = re.compile(r"[#;]\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
 
 #: Sentinel set meaning "every code is suppressed on this line".
 ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+#: Token types that never carry code (they neither open nor extend a
+#: logical line for attachment purposes).
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+def _parse_pragma(comment: str) -> FrozenSet[str]:
+    """Codes suppressed by a comment token (empty set: not a pragma)."""
+    match = _PRAGMA_RE.search(comment)
+    if not match:
+        return frozenset()
+    raw = match.group(1)
+    if raw is None:
+        return ALL_CODES
+    return frozenset(
+        code.strip().upper() for code in raw.split(",") if code.strip()
+    )
 
 
 def collect_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
     """Map line number -> suppressed codes (``ALL_CODES`` for a bare ignore).
 
-    Tolerates syntactically broken files (returns what was tokenizable).
+    Pragmas attached to a multi-line statement are expanded to every
+    physical line of that statement. Tolerates syntactically broken files
+    (returns what was tokenizable).
     """
     pragmas: Dict[int, FrozenSet[str]] = {}
+    #: Physical rows spanned by the current logical line's code tokens.
+    chunk_rows: Set[int] = set()
+    #: Codes from pragma comments attached to the current logical line.
+    chunk_codes: FrozenSet[str] = frozenset()
+
+    def mark(row: int, codes: FrozenSet[str]) -> None:
+        pragmas[row] = pragmas.get(row, frozenset()) | codes
+
+    def close_chunk(end_row: int) -> None:
+        nonlocal chunk_rows, chunk_codes
+        if chunk_codes and chunk_rows:
+            for row in range(min(chunk_rows), max(chunk_rows | {end_row}) + 1):
+                mark(row, chunk_codes)
+        chunk_rows = set()
+        chunk_codes = frozenset()
+
+    last_row = 1
     reader = io.StringIO(source).readline
     try:
         for token in tokenize.generate_tokens(reader):
-            if token.type != tokenize.COMMENT:
-                continue
-            match = _PRAGMA_RE.search(token.string)
-            if not match:
-                continue
-            raw = match.group(1)
-            if raw is None:
-                codes = ALL_CODES
-            else:
-                codes = frozenset(
-                    code.strip().upper() for code in raw.split(",") if code.strip()
-                )
-            if codes:
-                line = token.start[0]
-                pragmas[line] = pragmas.get(line, frozenset()) | codes
+            last_row = max(last_row, token.end[0])
+            if token.type == tokenize.COMMENT:
+                codes = _parse_pragma(token.string)
+                if not codes:
+                    continue
+                mark(token.start[0], codes)
+                if chunk_rows:
+                    chunk_codes |= codes
+            elif token.type == tokenize.NEWLINE:
+                close_chunk(token.start[0])
+            elif token.type not in _NON_CODE_TOKENS:
+                chunk_rows.update(range(token.start[0], token.end[0] + 1))
     except tokenize.TokenError:
         pass
+    close_chunk(last_row)
     return pragmas
 
 

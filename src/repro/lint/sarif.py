@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 rendering for ``repro lint --format sarif``.
+
+SARIF is the interchange format GitHub code scanning ingests for inline
+PR annotations. One run document carries the full rule catalog (per-file
+PW0xx and flow PW1xx) plus one result per finding. Baselined findings are
+emitted with an ``accepted`` suppression rather than dropped, so the
+annotation layer shows them greyed-out instead of pretending they do not
+exist. Output is sorted and indented — two identical lint runs produce
+byte-identical SARIF, which the determinism gate relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+#: The synthetic syntax-error code has no registered rule class.
+_SYNTHETIC_RULES = {
+    "PW000": ("syntax-error", "The file could not be parsed."),
+}
+
+
+def _rule_catalog() -> List[Dict[str, Any]]:
+    from repro.lint.flow.rules import all_flow_rules
+    from repro.lint.rules import all_rules
+
+    catalog: List[Dict[str, Any]] = []
+    for code, (name, description) in sorted(_SYNTHETIC_RULES.items()):
+        catalog.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": description},
+            }
+        )
+    for rule_cls in list(all_rules()) + list(all_flow_rules()):
+        catalog.append(
+            {
+                "id": rule_cls.code,
+                "name": rule_cls.name,
+                "shortDescription": {"text": rule_cls.description},
+                "defaultConfiguration": {
+                    "level": rule_cls.default_severity.value
+                },
+            }
+        )
+    catalog.sort(key=lambda rule: rule["id"])
+    return catalog
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+    if finding.baselined:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "status": "accepted",
+                "justification": "grandfathered in lint_baseline.json",
+            }
+        ]
+    return result
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The ``--format sarif`` report (one SARIF 2.1.0 document)."""
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/lint.md",
+                        "rules": _rule_catalog(),
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

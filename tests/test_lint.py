@@ -451,6 +451,70 @@ class TestPragmas:
         )
         assert codes(findings) == ["PW002"]
 
+    def test_pragma_covers_whole_multiline_statement(self):
+        # The pragma sits on the closing line; the finding anchors on the
+        # first line of the call. Logical-extent attachment must bridge it.
+        findings = run_lint(
+            """
+            import random
+            rng = random.Random(
+                7,
+            )  # lint: ignore[PW002] seeded fixture
+            """
+        )
+        assert findings == []
+
+    def test_pragma_on_interior_continuation_line(self):
+        findings = run_lint(
+            """
+            import random
+            rng = random.Random(
+                7,  # lint: ignore[PW002] seeded fixture
+            )
+            """
+        )
+        assert findings == []
+
+    def test_decorator_pragma_does_not_leak_into_def(self):
+        source = "@decorate  # lint: ignore[PW001]\ndef f():\n    pass\n"
+        pragmas = collect_pragmas(source)
+        assert is_suppressed(pragmas, 1, "PW001")
+        assert not is_suppressed(pragmas, 2, "PW001")
+
+    def test_def_pragma_does_not_leak_into_decorator(self):
+        source = "@decorate\ndef f():  # lint: ignore[PW001]\n    pass\n"
+        pragmas = collect_pragmas(source)
+        assert not is_suppressed(pragmas, 1, "PW001")
+        assert is_suppressed(pragmas, 2, "PW001")
+        assert not is_suppressed(pragmas, 3, "PW001")
+
+    def test_pragma_embedded_in_a_longer_comment(self):
+        findings = run_lint(
+            "import random\n"
+            "rng = random.Random(7)  # seeded fixture; lint: ignore[PW002]\n"
+        )
+        assert findings == []
+
+    def test_prose_mentioning_the_pragma_is_not_a_pragma(self):
+        findings = run_lint(
+            "import random\n"
+            "rng = random.Random(7)  # do not lint: ignore[PW002] here\n"
+        )
+        assert codes(findings) == ["PW002"]
+
+    def test_unrelated_comment_does_not_extend_suppression(self):
+        # A plain comment inside the statement must not turn the earlier
+        # pragma-free lines into suppressed ones.
+        findings = run_lint(
+            """
+            import random
+            rng = random.Random(
+                7,  # the seed
+            )
+            """
+        )
+        assert codes(findings) == ["PW002"]
+
 
 class TestEngineAndFindings:
     def test_syntax_error_is_a_finding_not_a_crash(self):
@@ -608,6 +672,54 @@ class TestConfig:
         assert config.root == REPO_ROOT
         assert set(config.sim_packages) >= {"sim", "mac80211", "core"}
         assert config.baseline == "lint_baseline.json"
+
+    def test_tree_rules_parsed_from_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            textwrap.dedent(
+                """
+                [tool.repro-lint]
+                sim-packages = ["sim"]
+
+                [tool.repro-lint.tree-rules]
+                tests = ["PW001", "pw006"]
+                """
+            )
+        )
+        config = load_config(start=tmp_path)
+        assert config.tree_rules == {"tests": ("PW001", "PW006")}
+
+    def test_codes_for_display_path(self):
+        config = LintConfig(tree_rules={"tests": ("PW001", "PW006")})
+        # Listed tree: the subset plus the always-on syntax check.
+        assert config.codes_for_display_path("tests/test_x.py") == (
+            "PW000", "PW001", "PW006",
+        )
+        # Unlisted tree: no restriction at all.
+        assert config.codes_for_display_path("src/repro/sim/engine.py") is None
+
+    def test_tree_rules_filter_findings_per_tree(self, tmp_path):
+        # The same PW002 source is restricted in tests/ but not in src/.
+        snippet = "import random\nrng = random.Random(7)\n"
+        for tree in ("src", "tests"):
+            (tmp_path / tree).mkdir()
+            (tmp_path / tree / "mod.py").write_text(snippet)
+        config = LintConfig(
+            tree_rules={"tests": ("PW001",)}, root=tmp_path
+        )
+        findings = lint_paths(
+            [tmp_path / "src", tmp_path / "tests"],
+            config=config,
+            use_baseline=False,
+        )
+        assert [(f.path, f.code) for f in findings] == [
+            ("src/mod.py", "PW002"),
+        ]
+
+    def test_repo_tree_rules_keep_flow_codes_off_tests(self):
+        config = load_config(pyproject=REPO_ROOT / "pyproject.toml")
+        codes = config.codes_for_display_path("tests/test_lint.py")
+        assert codes is not None
+        assert not any(c.startswith("PW1") for c in codes)
 
 
 class TestCli:

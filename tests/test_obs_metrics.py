@@ -49,9 +49,9 @@ class TestCounter:
 
     def test_name_validation(self, registry):
         with pytest.raises(ObservabilityError):
-            registry.counter("Bad-Name")
+            registry.counter("Bad-Name")  # lint: ignore[PW006] deliberately invalid fixture
         with pytest.raises(ObservabilityError):
-            registry.counter("a..b")
+            registry.counter("a..b")  # lint: ignore[PW006] deliberately invalid fixture
 
     def test_type_conflict_is_an_error(self, registry):
         registry.counter("a.b")
@@ -71,7 +71,7 @@ class TestGauge:
 
 class TestHistogram:
     def test_bucket_edges_use_bisect_left_semantics(self, registry):
-        h = registry.histogram("d", buckets=(1, 5, 10))
+        h = registry.histogram("d", buckets=(1, 5, 10))  # lint: ignore[PW006] test-local name
         # value <= edge lands in that bucket; above the last edge overflows.
         for value in (0, 1, 2, 5, 7, 10, 11):
             h.observe(value)
@@ -84,11 +84,11 @@ class TestHistogram:
         assert record["sum"] == 36
 
     def test_default_buckets(self, registry):
-        h = registry.histogram("d2")
+        h = registry.histogram("d2")  # lint: ignore[PW006] test-local name
         assert h.edges == tuple(float(b) for b in DEFAULT_BUCKETS)
 
     def test_quantiles_and_mean(self, registry):
-        h = registry.histogram("q", buckets=(100,))
+        h = registry.histogram("q", buckets=(100,))  # lint: ignore[PW006] test-local name
         for value in range(1, 101):
             h.observe(value)
         assert h.mean == pytest.approx(50.5)
@@ -97,8 +97,8 @@ class TestHistogram:
         assert abs(h.quantile(0.5) - 50) <= 2
 
     def test_reservoir_stays_bounded_and_deterministic(self, registry):
-        h1 = registry.histogram("r1", buckets=(10,))
-        h2 = registry.histogram("r2", buckets=(10,))
+        h1 = registry.histogram("r1", buckets=(10,))  # lint: ignore[PW006] test-local name
+        h2 = registry.histogram("r2", buckets=(10,))  # lint: ignore[PW006] test-local name
         for value in range(10_000):
             h1.observe(value)
             h2.observe(value)
@@ -115,7 +115,7 @@ class TestTimeseries:
         assert len(ts) == 2
 
     def test_time_must_not_go_backwards(self, registry):
-        ts = registry.timeseries("t")
+        ts = registry.timeseries("t")  # lint: ignore[PW006] test-local name
         ts.sample(1.0, 0.0)
         with pytest.raises(ObservabilityError):
             ts.sample(0.5, 0.0)
@@ -174,7 +174,7 @@ class TestNoOpMode:
         assert disabled.counter("a.b") is NULL_REGISTRY.counter("x.y")
 
     def test_timeseries_null_accepts_backwards_time(self):
-        ts = NULL_REGISTRY.timeseries("t")
+        ts = NULL_REGISTRY.timeseries("t")  # lint: ignore[PW006] test-local name
         ts.sample(1.0, 0.0)
         ts.sample(0.0, 0.0)  # must not raise in no-op mode
 

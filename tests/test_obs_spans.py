@@ -71,9 +71,9 @@ class TestSpanRecorder:
     def test_name_validation(self):
         recorder = SpanRecorder()
         with pytest.raises(ObservabilityError, match="dotted lowercase"):
-            recorder.begin("NotDotted")
+            recorder.begin("NotDotted")  # lint: ignore[PW006] deliberately invalid fixture
         with pytest.raises(ObservabilityError, match="dotted lowercase"):
-            recorder.begin("single_segment")
+            recorder.begin("single_segment")  # lint: ignore[PW006] deliberately invalid fixture
 
     def test_sim_time_bounds_and_duration(self):
         recorder = SpanRecorder()
