@@ -76,24 +76,28 @@ class IpPowerGate:
         the interface queue depth is below the threshold, dropped (with an
         error code back to user space) otherwise.
         """
-        self.stats.considered += 1
+        stats = self.stats
+        stats.considered += 1
         self._m_considered.inc()
-        depth = self.station.queue_depth
+        station = self.station
+        # station.queue_depth, inlined: this runs once per injection tick.
+        depth = station.queue._size + (1 if station._in_flight is not None else 0)
         self._m_depth_at_check.observe(depth)
-        if self.queue_threshold is not None and depth >= self.queue_threshold:
-            self.stats.dropped += 1
+        threshold = self.queue_threshold
+        if threshold is not None and depth >= threshold:
+            stats.dropped += 1
             self._m_dropped.inc()
-            trace = self.station.sim.trace
+            trace = station.sim.trace
             if trace.wants("core.gate_drop"):
                 trace.emit(
-                    self.station.sim.now,
-                    self.station.name,
+                    station.sim.now,
+                    station.name,
                     "core.gate_drop",
                     depth=depth,
-                    threshold=self.queue_threshold,
+                    threshold=threshold,
                 )
             return False
-        self.stats.admitted += 1
+        stats.admitted += 1
         self._m_admitted.inc()
         return True
 

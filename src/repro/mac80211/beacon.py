@@ -59,7 +59,9 @@ class BeaconSource:
         if self._running:
             return
         self._running = True
-        self._timer = self.sim.schedule(0.0, self._beacon, name="beacon")
+        self._timer = self.sim.schedule_periodic(
+            self.interval_s, self._beacon, name="beacon"
+        )
 
     def stop(self) -> None:
         """Stop beaconing."""
@@ -79,8 +81,7 @@ class BeaconSource:
             flow="beacon",
             on_complete=self._sent,
         )
-        self.station.enqueue(frame)
-        self._timer = self.sim.schedule(self.interval_s, self._beacon, name="beacon")
+        self.station.enqueue(frame)  # the periodic timer re-arms the cadence
 
     def _sent(self, frame: FrameJob, success: bool, time: float) -> None:
         self.beacons_sent += 1

@@ -19,6 +19,18 @@ from repro.mac80211.rates import validate_rate
 _frame_ids = itertools.count(1)
 
 
+def consume_frame_ids(n: int) -> None:
+    """Advance the global frame-id sequence by ``n`` without building frames.
+
+    Bulk-settlement paths (the injector's saturated-drop fast-forward) use
+    this so frames they *didn't* materialise still consume exactly the ids
+    the live path would have — later frame ids (and the capture sequence
+    numbers derived from them) stay byte-identical at equal seed.
+    """
+    for _ in range(n):
+        next(_frame_ids)
+
+
 class FrameKind(Enum):
     """What a frame is, for accounting and the queue-threshold logic."""
 
@@ -34,7 +46,7 @@ class FrameKind(Enum):
     BACKGROUND = "background"
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameJob:
     """A frame awaiting (or undergoing) transmission.
 
@@ -70,16 +82,16 @@ class FrameJob:
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     enqueued_at: float = 0.0
     attempts: int = 0
+    #: True for PoWiFi power traffic. Precomputed from ``kind`` (which never
+    #: changes after construction): the queue classifier asks once per push
+    #: and pop, so this must be an attribute read, not a property call.
+    is_power: bool = field(init=False, default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.mac_bytes <= 0:
             raise ConfigurationError(f"mac_bytes must be > 0, got {self.mac_bytes}")
         validate_rate(self.rate_mbps)
-
-    @property
-    def is_power(self) -> bool:
-        """True for PoWiFi power traffic."""
-        return self.kind is FrameKind.POWER
+        self.is_power = self.kind is FrameKind.POWER
 
     def complete(self, success: bool, time: float) -> None:
         """Invoke the completion callback, if any."""

@@ -87,7 +87,15 @@ class Medium:
         self.sim = sim
         self.channel = channel
         self.phy = phy
+        # phy is fixed for the life of the medium; the DIFS + slot pair is
+        # read once per DCF round, so skip the dataclass attribute chain.
+        self._difs = phy.difs
+        self._slot_time = phy.slot_time
         self.stations: List["Station"] = []
+        # frame_airtime_s is pure in (size, rate) for a fixed PHY and the
+        # traffic mix reuses a handful of combinations millions of times.
+        self._airtime_cache: dict = {}
+        self._ack_cache: dict = {}
         self._busy_until = 0.0
         self._round_event: Optional[Event] = None
         self._round_contenders: List["Station"] = []
@@ -162,18 +170,23 @@ class Medium:
         when it clears; if a round is already pending, the newcomer joins
         the next one (a close approximation of joining mid-countdown).
         """
-        if self.is_busy or self._round_event is not None:
+        if self._round_event is not None or self.sim._now < self._busy_until:
             return
         self._schedule_round()
 
     def _schedule_round(self) -> None:
-        contenders = [s for s in self.stations if s.has_pending()]
+        contenders = [s for s in self.stations if s.queue._size]
         if not contenders:
             return
+        min_slots = None
         for station in contenders:
-            station.ensure_backoff()
-        min_slots = min(s.backoff_remaining for s in contenders)
-        wait = self.phy.difs + min_slots * self.phy.slot_time
+            remaining = station.backoff_remaining
+            if remaining is None:
+                station.ensure_backoff()
+                remaining = station.backoff_remaining
+            if min_slots is None or remaining < min_slots:
+                min_slots = remaining
+        wait = self._difs + min_slots * self._slot_time
         self._round_contenders = contenders
         self._round_started_at = self.sim.now
         self._round_event = self.sim.schedule(
@@ -183,7 +196,7 @@ class Medium:
     def _resolve_round(self, min_slots: int) -> None:
         self._round_event = None
         # Re-validate: queues may have drained (e.g. a flow was cancelled).
-        contenders = [s for s in self._round_contenders if s.has_pending()]
+        contenders = [s for s in self._round_contenders if s.queue._size]
         self._round_contenders = []
         if not contenders:
             self.notify_ready()
@@ -191,12 +204,14 @@ class Medium:
         # A contender whose own transmission completed at the same instant
         # the round was scheduled (event-ordering tie at a busy boundary)
         # arrives here with a reset backoff; it re-draws and contends fresh.
+        winners = []
         for station in contenders:
-            station.ensure_backoff()
-        winners = [s for s in contenders if s.backoff_remaining <= min_slots]
-        losers = [s for s in contenders if s.backoff_remaining > min_slots]
-        for station in losers:
-            station.backoff_remaining -= min_slots
+            if station.backoff_remaining is None:
+                station.ensure_backoff()
+            if station.backoff_remaining <= min_slots:
+                winners.append(station)
+            else:
+                station.backoff_remaining -= min_slots
         if not winners:
             # All original minimum-backoff stations drained; restart.
             self.notify_ready()
@@ -207,10 +222,18 @@ class Medium:
         collided = len(winners) > 1
         pairs: List[Tuple["Station", FrameJob]] = []
         airtime = 0.0
+        airtime_cache = self._airtime_cache
         for station in winners:
             frame = station.begin_transmission()
             pairs.append((station, frame))
-            airtime = max(airtime, frame_airtime_s(frame.mac_bytes, frame.rate_mbps, self.phy))
+            key = (frame.mac_bytes, frame.rate_mbps)
+            cached = airtime_cache.get(key)
+            if cached is None:
+                cached = airtime_cache[key] = frame_airtime_s(
+                    frame.mac_bytes, frame.rate_mbps, self.phy
+                )
+            if cached > airtime:
+                airtime = cached
         duration = airtime
         success = not collided
         # Only a clean unicast frame is followed by a SIFS + ACK exchange.
@@ -221,8 +244,14 @@ class Medium:
                     if station.loss_rng.random() < station.unicast_loss_probability:
                         success = False
                 if success:
-                    duration += self.phy.sifs + ack_airtime_s(frame.rate_mbps, self.phy)
-        start = self.sim.now
+                    ack = self._ack_cache.get(frame.rate_mbps)
+                    if ack is None:
+                        ack = self._ack_cache[frame.rate_mbps] = ack_airtime_s(
+                            frame.rate_mbps, self.phy
+                        )
+                    duration += self.phy.sifs + ack
+        sim = self.sim
+        start = sim._now
         self._busy_until = start + duration
         self.total_busy_time += duration
         self.transmission_count += len(pairs)
@@ -233,7 +262,7 @@ class Medium:
         if collided:
             self.collision_count += 1
             self._m_collisions.inc()
-        trace = self.sim.trace
+        trace = sim.trace
         if trace.wants("mac.tx"):
             trace.emit(
                 start,
@@ -258,7 +287,7 @@ class Medium:
             observer(record)
         # Detail-gated hot-path span: one per busy period, ended by the
         # tx_done callback (non-LIFO close — overlapping channels interleave).
-        spans = self.sim.spans
+        spans = sim.spans
         busy_span = None
         if spans.detail:
             busy_span = spans.begin(
@@ -267,7 +296,7 @@ class Medium:
                 channel=self.channel,
                 collided=collided,
             )
-        self.sim.schedule(
+        sim.schedule(
             duration, self._finish_transmission, pairs, collided, success,
             busy_span, name="tx_done",
         )

@@ -69,6 +69,11 @@ class Station:
         self.backoff_remaining: Optional[int] = None
         self._medium: Optional["Medium"] = None
         self._in_flight: Optional[FrameJob] = None
+        #: Optional observer fired whenever the in-flight slot flips — the
+        #: other half of :attr:`queue_depth` beyond the device queue itself.
+        #: Queue-content changes are observable via ``queue.on_change``; a
+        #: depth watcher (the injector fast-forward) subscribes to both.
+        self.on_depth_change: Optional[callable] = None
         self.frames_sent = 0
         self.frames_dropped = 0
         self.bytes_sent = 0
@@ -90,7 +95,7 @@ class Station:
         A full queue *drops* the frame (tail drop), completing it with
         ``success=False`` — this is the loss signal the TCP model reacts to.
         """
-        frame.enqueued_at = self.sim.now
+        frame.enqueued_at = self.sim._now
         if not self.queue.push(frame):
             self.frames_dropped += 1
             self._m_dropped.inc()
@@ -108,14 +113,20 @@ class Station:
 
     def has_pending(self) -> bool:
         """True when a frame is queued or mid-transmission setup."""
-        return len(self.queue) > 0
+        return self.queue._size > 0
 
     # ------------------------------------------------------------------- DCF
 
     def ensure_backoff(self) -> None:
         """Draw a fresh backoff counter if none is carried over."""
         if self.backoff_remaining is None:
-            attempts = self.queue.peek().attempts if len(self.queue) else 0
+            queue = self.queue
+            # With no retried frame queued (the common case) the head's
+            # attempt count is 0 by construction — skip the round-robin peek.
+            if queue._retry_pending and queue._size:
+                attempts = queue.peek().attempts
+            else:
+                attempts = 0
             cw = self._phy().cw_for_attempt(attempts)
             self.backoff_remaining = self.backoff_rng.randint(0, cw)
             self._m_backoff.observe(self.backoff_remaining)
@@ -133,6 +144,8 @@ class Station:
             raise MediumError(f"station {self.name!r} has nothing to send")
         self._in_flight = frame
         frame.attempts += 1
+        if self.on_depth_change is not None:
+            self.on_depth_change()
         return frame
 
     def finish_transmission(self, frame: FrameJob, success: bool) -> None:
@@ -140,6 +153,8 @@ class Station:
         if self._in_flight is not frame:
             raise MediumError(f"station {self.name!r}: unknown frame completion")
         self._in_flight = None
+        if self.on_depth_change is not None:
+            self.on_depth_change()
         phy = self._phy()
         if frame.broadcast or success:
             # Broadcast is fire-and-forget: it leaves the MAC regardless of
@@ -148,7 +163,8 @@ class Station:
             self.frames_sent += 1
             self.bytes_sent += frame.mac_bytes
             self._m_sent.inc()
-            frame.complete(success, self.sim.now)
+            if frame.on_complete is not None:
+                frame.on_complete(frame, success, self.sim._now)
             return
         # Failed unicast: retry with doubled contention window, or drop.
         if frame.attempts > phy.retry_limit:

@@ -78,6 +78,11 @@ class DeviceQueue:
         self._classes: "OrderedDict[str, Deque[FrameJob]]" = OrderedDict()
         self._size = 0
         self._next_index = 0
+        #: Queued frames with a non-zero attempt count (MAC retries put back
+        #: via push_front). While zero — the overwhelmingly common state —
+        #: the head frame's attempt count is known to be 0 without a peek,
+        #: which keeps the backoff-draw hot path off the round-robin scan.
+        self._retry_pending = 0
         self.total_enqueued = 0
         self.total_tail_dropped = 0
         self.total_forced_dropped = 0
@@ -96,6 +101,13 @@ class DeviceQueue:
         self._m_forced_dropped = registry.counter(
             "net.txqueue.forced_dropped", queue=name
         )
+        #: Optional observer invoked (with no arguments) after any change to
+        #: queue contents or admission state — push success, pop, push_front,
+        #: clear, forced-overflow begin/end. The injector's idle-tick
+        #: fast-forward subscribes to know when a dormancy precondition
+        #: (depth, class fill, overflow window) may have shifted. Must not
+        #: mutate the queue re-entrantly.
+        self.on_change: Optional[Callable[[], None]] = None
 
     # ---------------------------------------------------------------- mutation
 
@@ -111,30 +123,45 @@ class DeviceQueue:
             self._m_dropped.inc()
             self._m_forced_dropped.inc()
             return False
+        classes = self._classes
         name = self.classifier(frame)
-        queue = self._classes.setdefault(name, deque())
+        queue = classes.get(name)
+        if queue is None:
+            queue = classes[name] = deque()
         if len(queue) >= self.capacity:
             self.total_tail_dropped += 1
             self._m_dropped.inc()
             return False
         queue.append(frame)
-        self._size += 1
+        size = self._size + 1
+        self._size = size
+        # getattr, not attribute access: the queue is payload-agnostic by
+        # contract (fault tests push opaque sentinels), so a payload without
+        # an attempt counter simply never marks a retry pending.
+        if getattr(frame, "attempts", 0):
+            self._retry_pending += 1
         self.total_enqueued += 1
         self._m_enqueued.inc()
-        self._m_depth.set(self._size)
-        self._m_depth_on_push.observe(self._size)
-        if self._size > self.high_watermark:
-            self.high_watermark = self._size
-            self._m_high_watermark.set(self._size)
+        self._m_depth.set(size)
+        self._m_depth_on_push.observe(size)
+        if size > self.high_watermark:
+            self.high_watermark = size
+            self._m_high_watermark.set(size)
+        if self.on_change is not None:
+            self.on_change()
         return True
 
     def begin_forced_overflow(self) -> None:
         """Open an injected overflow window: every ``push`` tail-drops."""
         self.forced_overflow = True
+        if self.on_change is not None:
+            self.on_change()
 
     def end_forced_overflow(self) -> None:
         """Close the injected overflow window (normal admission resumes)."""
         self.forced_overflow = False
+        if self.on_change is not None:
+            self.on_change()
 
     def push_front(self, frame: FrameJob) -> None:
         """Return a frame to the head of its class (MAC retry path).
@@ -142,14 +169,26 @@ class DeviceQueue:
         Always succeeds: a frame being retried was already admitted, so
         re-insertion must not be droppable.
         """
+        classes = self._classes
         name = self.classifier(frame)
-        self._classes.setdefault(name, deque()).appendleft(frame)
+        queue = classes.get(name)
+        if queue is None:
+            queue = classes[name] = deque()
+        queue.appendleft(frame)
         self._size += 1
+        if getattr(frame, "attempts", 0):
+            self._retry_pending += 1
         self._m_depth.set(self._size)
+        if self.on_change is not None:
+            self.on_change()
 
     def _serving_class(self) -> Optional[str]:
         """The class the next ``pop`` serves (round robin over backlogged)."""
-        backlogged = [name for name, q in self._classes.items() if q]
+        classes = self._classes
+        if len(classes) == 1:
+            for name, q in classes.items():
+                return name if q else None
+        backlogged = [name for name, q in classes.items() if q]
         if not backlogged:
             return None
         return backlogged[self._next_index % len(backlogged)]
@@ -168,8 +207,12 @@ class DeviceQueue:
             return None
         frame = self._classes[name].popleft()
         self._size -= 1
+        if getattr(frame, "attempts", 0):
+            self._retry_pending -= 1
         self._next_index += 1
         self._m_depth.set(self._size)
+        if self.on_change is not None:
+            self.on_change()
         return frame
 
     def clear(self) -> None:
@@ -177,7 +220,10 @@ class DeviceQueue:
         self._classes.clear()
         self._size = 0
         self._next_index = 0
+        self._retry_pending = 0
         self._m_depth.set(0)
+        if self.on_change is not None:
+            self.on_change()
 
     # ----------------------------------------------------------------- queries
 

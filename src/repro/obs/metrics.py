@@ -218,6 +218,66 @@ class Histogram(_Instrument):
                 self._stride *= 2
         self._seen += 1
 
+    def observe_many(self, value: float, n: int) -> None:
+        """Record ``n`` identical observations in O(admitted) time.
+
+        Byte-for-byte equivalent to ``n`` sequential :meth:`observe` calls —
+        same bucket counts, sum, min/max, and the same reservoir contents,
+        stride and decimation points — which is what lets bulk-settling
+        components (the injector's idle-tick fast-forward) skip the per-event
+        loop without perturbing any exported record.
+
+        >>> a, b = Histogram("demo", (), (1, 5)), Histogram("demo", (), (1, 5))
+        >>> for _ in range(1300): a.observe(3.0)
+        >>> b.observe_many(3.0, 1300)
+        >>> (a.to_record() == b.to_record(), a._stride == b._stride,
+        ...  a._seen == b._seen, a._reservoir == b._reservoir)
+        (True, True, True, True)
+        >>> for _ in range(77): a.observe(0.1)  # non-exact float sums too
+        >>> b.observe_many(0.1, 77)
+        >>> a.to_record() == b.to_record()
+        True
+        """
+        if n <= 0:
+            return
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.edges, value)] += n
+        self.count += n
+        # ``sum`` must finish byte-identical to n sequential ``+= value``
+        # adds. Integer-valued accumulations (depth histograms) stay exact
+        # in closed form; otherwise replay the additions.
+        bulk = value * n
+        if (
+            value.is_integer()
+            and self.sum.is_integer()
+            and abs(self.sum) + abs(bulk) <= 2**53
+        ):
+            self.sum += bulk
+        else:
+            acc = self.sum
+            for _ in range(n):
+                acc += value
+            self.sum = acc
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # Replay only the admitted samples: positions where
+        # ``_seen % _stride == 0``, with the stride doubling whenever the
+        # reservoir overflows — identical to the scalar path.
+        remaining = n
+        while remaining > 0:
+            gap = -self._seen % self._stride
+            if gap >= remaining:
+                self._seen += remaining
+                return
+            self._seen += gap + 1
+            remaining -= gap + 1
+            self._reservoir.append(value)
+            if len(self._reservoir) > _RESERVOIR_MAX:
+                self._reservoir = self._reservoir[::2]
+                self._stride *= 2
+
     @property
     def mean(self) -> float:
         """Arithmetic mean of all observations (0.0 when empty)."""
@@ -360,6 +420,9 @@ class _NullHistogram(Histogram):
     __slots__ = ()
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, value: float, n: int) -> None:
         pass
 
 

@@ -9,6 +9,21 @@ deterministic for a given seed.
 The engine is synchronous and single-threaded; "processes" in the MAC layer
 are small state machines that re-schedule themselves.
 
+Heap layout: the queue is an array of ``(time, seq, event)`` tuples, so
+``heapq`` sift comparisons resolve on the float/int pair at C speed without
+ever calling back into Python (:class:`Event` keeps ``__lt__`` only for
+explicit comparisons). Cancellation is tombstone-based — ``Event.cancel``
+flips a flag and the dispatcher discards the entry when it surfaces — and
+:meth:`Simulator.schedule_at` compacts the array when tombstones outnumber
+live entries, so cancel-heavy workloads stay O(live) in memory.
+
+Periodic sources (beacons, injector ticks) use
+:meth:`Simulator.schedule_periodic`: the engine re-arms the *same*
+:class:`Event` object after each callback return, exactly as if the callback
+had rescheduled itself as its last statement (same sequence-number order,
+same times via the ``t += period`` float recurrence), but without a fresh
+allocation per tick.
+
 Self-profiling: when observability is on (the default), the dispatcher
 tallies per-callback-name dispatch counts and cumulative wall-clock time,
 the heap high-water mark, and cancelled events into :attr:`Simulator.stats`,
@@ -44,6 +59,12 @@ from repro.obs import runtime as obs_runtime
 #: exact; only the timing is sampled.
 TIMING_STRIDE = 4
 _TIMING_MASK = TIMING_STRIDE - 1
+
+#: Tombstone-compaction floor: the heap is rebuilt (dropping cancelled
+#: entries) only when at least this many tombstones are present *and* they
+#: outnumber live entries, amortising the O(n) rebuild against the cancels
+#: that earned it.
+COMPACT_MIN_TOMBSTONES = 64
 
 
 def _component_of(callback: Callable[..., Any]) -> str:
@@ -84,6 +105,11 @@ class SimulatorStats:
     heap_high_watermark:
         Largest number of heap entries ever pending at once (cancelled
         entries included — they occupy heap slots until popped).
+    heap_tombstones:
+        Cancelled entries currently occupying heap slots (drives the
+        compaction heuristic; bookkeeping only).
+    compactions:
+        Times the heap was rebuilt to shed tombstones.
     callback_counts:
         Dispatch count per event name (exact).
     callback_wall_s:
@@ -102,6 +128,8 @@ class SimulatorStats:
         "dispatched",
         "cancelled",
         "heap_high_watermark",
+        "heap_tombstones",
+        "compactions",
         "_profile",
         "_components",
     )
@@ -111,6 +139,8 @@ class SimulatorStats:
         self.dispatched = 0
         self.cancelled = 0
         self.heap_high_watermark = 0
+        self.heap_tombstones = 0
+        self.compactions = 0
         # name -> [count, wall_s, sim_first_s, sim_last_s]; one dict lookup
         # per dispatch keeps the profiled run loop tight.
         self._profile: Dict[str, List[float]] = {}
@@ -195,11 +225,19 @@ class Event:
     """A scheduled callback.
 
     Events are returned by the ``schedule*`` methods and may be cancelled.
-    Cancellation is lazy: the heap entry stays in place and is skipped when
-    popped, which keeps cancellation O(1).
+    Cancellation is lazy: the heap entry stays in place as a tombstone and
+    is skipped when popped, which keeps cancellation O(1); the simulator
+    compacts the heap when tombstones pile up.
+
+    Periodic events (:meth:`Simulator.schedule_periodic`) carry a non-None
+    ``period`` and are re-armed by the dispatcher after each callback return
+    — the same object cycles through the heap for the life of the source.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name", "stats")
+    __slots__ = (
+        "time", "seq", "callback", "args", "cancelled", "name", "stats",
+        "period", "heaped",
+    )
 
     def __init__(
         self,
@@ -209,6 +247,7 @@ class Event:
         args: Tuple[Any, ...],
         name: str = "",
         stats: Optional[SimulatorStats] = None,
+        period: Optional[float] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -217,13 +256,18 @@ class Event:
         self.cancelled = False
         self.name = name or getattr(callback, "__name__", "event")
         self.stats = stats
+        self.period = period
+        self.heaped = False
 
     def cancel(self) -> None:
         """Mark the event so the dispatcher skips it."""
         if not self.cancelled:
             self.cancelled = True
-            if self.stats is not None:
-                self.stats.cancelled += 1
+            stats = self.stats
+            if stats is not None:
+                stats.cancelled += 1
+                if self.heaped:
+                    stats.heap_tombstones += 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -261,10 +305,11 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0, observe: Optional[bool] = None) -> None:
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._dispatched = 0
+        self._run_end_hooks: List[Callable[[], None]] = []
         if observe is None:
             observe = obs_runtime.enabled()
         self.observe = bool(observe)
@@ -292,12 +337,23 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-dispatched, not-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
 
     @property
     def dispatched_events(self) -> int:
         """Total number of events dispatched so far."""
         return self._dispatched
+
+    def add_run_end_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook()`` to run every time :meth:`run` returns cleanly.
+
+        Hooks fire after the clock has settled on its final value (including
+        the advance-to-``until`` on queue drain) and may not schedule past
+        state: they exist so lazily-settled components (the injector's
+        idle-tick fast-forward, see :mod:`repro.core.injector`) can
+        materialise their bulk state before the driver reads it.
+        """
+        self._run_end_hooks.append(hook)
 
     def schedule(
         self,
@@ -306,10 +362,30 @@ class Simulator:
         *args: Any,
         name: str = "",
     ) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Body duplicates :meth:`schedule_at` rather than forwarding to it:
+        this is the hottest scheduling entry point (one call per DCF round
+        and per transmission completion), and the extra call frame is
+        measurable at millions of events.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args, name=name)
+        time = self._now + delay
+        stats = self.stats
+        event = Event(time, next(self._seq), callback, args, name=name, stats=stats)
+        event.heaped = True
+        heap = self._heap
+        if (
+            stats.heap_tombstones >= COMPACT_MIN_TOMBSTONES
+            and stats.heap_tombstones * 2 >= len(heap)
+        ):
+            self._compact()
+            heap = self._heap
+        heapq.heappush(heap, (time, event.seq, event))
+        if len(heap) > stats.heap_high_watermark:
+            stats.heap_high_watermark = len(heap)
+        return event
 
     def schedule_at(
         self,
@@ -323,11 +399,54 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: t={time!r} < now={self._now!r}"
             )
-        event = Event(time, next(self._seq), callback, args, name=name, stats=self.stats)
-        heapq.heappush(self._heap, event)
-        if len(self._heap) > self.stats.heap_high_watermark:
-            self.stats.heap_high_watermark = len(self._heap)
+        stats = self.stats
+        event = Event(time, next(self._seq), callback, args, name=name, stats=stats)
+        event.heaped = True
+        heap = self._heap
+        if (
+            stats.heap_tombstones >= COMPACT_MIN_TOMBSTONES
+            and stats.heap_tombstones * 2 >= len(heap)
+        ):
+            self._compact()
+            heap = self._heap
+        heapq.heappush(heap, (time, event.seq, event))
+        if len(heap) > stats.heap_high_watermark:
+            stats.heap_high_watermark = len(heap)
         return event
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+        first_delay: float = 0.0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` every ``period`` seconds.
+
+        The first firing happens ``first_delay`` seconds from now; after each
+        callback return the dispatcher re-arms the same :class:`Event` at
+        ``time + period`` (the exact float recurrence a self-rescheduling
+        callback would produce), unless the event was cancelled. Mutating
+        :attr:`Event.period` retunes the cadence from the next re-arm on.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be > 0, got {period!r}")
+        event = self.schedule(first_delay, callback, *args, name=name)
+        event.period = float(period)
+        return event
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (amortised O(n))."""
+        live = [entry for entry in self._heap if not entry[2].cancelled]
+        for entry in self._heap:
+            ev = entry[2]
+            if ev.cancelled:
+                ev.heaped = False
+        heapq.heapify(live)
+        self._heap = live
+        self.stats.heap_tombstones = 0
+        self.stats.compactions += 1
 
     def run(
         self,
@@ -355,26 +474,35 @@ class Simulator:
         profile = stats._profile
         heap = self._heap
         pop = heapq.heappop
+        push = heapq.heappush
+        seq_counter = self._seq
         clock = perf_counter
+        # Hoisted per-dispatch conditionals: comparing against +inf is the
+        # same branch as a bound but drops the per-event None checks.
+        limit = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
         run_span = self.spans.begin("sim.engine.run", sim_start_s=self._now)
         status = "ok"
         try:
             while heap:
-                event = heap[0]
+                time, _, event = heap[0]
                 if event.cancelled:
                     pop(heap)
+                    event.heaped = False
+                    stats.heap_tombstones -= 1
                     continue
-                if until is not None and event.time > until:
+                if time > limit:
                     break
                 pop(heap)
-                self._now = event.time
+                event.heaped = False
+                self._now = time
                 if self.on_event is not None:
                     self.on_event(event)
                 if profiling:
                     entry = profile.get(event.name)
                     if entry is None:
                         entry = profile[event.name] = [
-                            0, 0.0, event.time, event.time,
+                            0, 0.0, time, time,
                         ]
                         stats._components[event.name] = _component_of(
                             event.callback
@@ -386,11 +514,25 @@ class Simulator:
                         event.callback(*event.args)
                         entry[1] += (clock() - started) * TIMING_STRIDE
                     entry[0] += 1
-                    entry[3] = event.time
+                    entry[3] = time
                 else:
                     event.callback(*event.args)
+                period = event.period
+                if period is not None and not event.cancelled:
+                    # Re-arm in place: same order a callback rescheduling
+                    # itself as its last statement would produce.
+                    time += period
+                    event.time = time
+                    event.seq = next(seq_counter)
+                    event.heaped = True
+                    heap = self._heap  # the callback may have compacted
+                    push(heap, (time, event.seq, event))
+                    if len(heap) > stats.heap_high_watermark:
+                        stats.heap_high_watermark = len(heap)
+                else:
+                    heap = self._heap
                 dispatched_this_run += 1
-                if max_events is not None and dispatched_this_run >= max_events:
+                if dispatched_this_run >= budget:
                     break
         except BaseException:
             status = "error"
@@ -401,6 +543,9 @@ class Simulator:
             stats.dispatched += dispatched_this_run
             if until is not None and self._now < until and status == "ok":
                 self._now = until
+            if status == "ok":
+                for hook in self._run_end_hooks:
+                    hook()
             self.spans.end(
                 run_span,
                 sim_end_s=self._now,
