@@ -10,7 +10,12 @@ Usage::
     python -m repro run-all --retries 2 --task-timeout 60 \
         --fault-plan worker.crash:1,worker.hang:1@20   # chaos drill
     python -m repro run-all --live       # stream run_live.jsonl while running
+    python -m repro run-all --slo-spec slos/fig7.json --ids fig7
     python -m repro watch                # tail + render a --live event stream
+    python -m repro watch --once --json  # one machine-readable snapshot
+    python -m repro slo --input run_manifest.json --strict   # SLO gate
+    python -m repro slo --spec slos/violation_demo.json
+    python -m repro dash --input run_manifest.json --out dash.html
     python -m repro quickstart --duration 2.0
     python -m repro metrics fig07        # run + export metrics JSONL
     python -m repro metrics --input run_metrics.jsonl --top 10 --sort wall
@@ -201,6 +206,8 @@ def _cmd_list() -> int:
     print("  run-all    (every experiment, parallel + cached; see docs/running.md)")
     print("  profile    (per-kind attribution + flame output; see docs/observability.md)")
     print("  watch      (render a run-all --live event stream)")
+    print("  slo        (evaluate SLO specs against a run manifest; CI gate)")
+    print("  dash       (render a static HTML observatory for a run)")
     return 0
 
 
@@ -324,6 +331,19 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
         help="stream lifecycle events to run_live.jsonl next to the "
         "manifest ('python -m repro watch' renders them live)",
     )
+    parser.add_argument(
+        "--slo-spec",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="SLO spec file to evaluate (repeatable; replaces the "
+        "registry defaults — see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--no-slo",
+        action="store_true",
+        help="skip SLO evaluation entirely (no registry defaults)",
+    )
     args = parser.parse_args(argv)
     obs_runtime.configure(enabled=not no_obs, span_detail=args.span_detail)
 
@@ -344,6 +364,26 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
         if fault_plan.wants("manifest.interrupt"):
             faults_runtime.arm("manifest.interrupt")
         print(f"fault plan: {fault_plan.describe()} (seed={fault_plan.seed})")
+
+    # SLO specs: None lets run_all load the registry defaults; an explicit
+    # --slo-spec list replaces them and must parse (a spec the operator
+    # named is configuration, so its failure is an error, unlike absent
+    # defaults); --no-slo disables evaluation. Either way the specs never
+    # change results or the exit status — 'repro slo' is the gate.
+    slo_specs = None
+    if args.no_slo:
+        slo_specs = []
+    elif args.slo_spec:
+        from repro.errors import ObservabilityError
+        from repro.obs.slo import load_spec
+
+        slo_specs = []
+        for spec_path in args.slo_spec:
+            try:
+                slo_specs.append(load_spec(spec_path))
+            except (OSError, ObservabilityError) as exc:
+                print(f"run-all: SLO spec {spec_path}: {exc}", file=sys.stderr)
+                return 2
 
     ids = None
     if args.ids is not None:
@@ -376,6 +416,7 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
             task_timeout_s=args.task_timeout,
             fault_plan=fault_plan,
             live_sink=live_sink,
+            slo_specs=slo_specs,
         )
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
@@ -398,6 +439,13 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
         f"(jobs={result.jobs})"
     )
     print(f"manifest: {args.report}")
+    slo_counts = manifest["slo"]["counts"]
+    if any(slo_counts.values()):
+        print(
+            f"slo: {slo_counts['ok']} ok, {slo_counts['violated']} violated, "
+            f"{slo_counts['skipped']} skipped "
+            f"(advisory here; gate with 'repro slo --input {args.report}')"
+        )
     if result.spans_dropped or result.live_dropped:
         print(
             f"dropped telemetry: {result.spans_dropped} span(s), "
@@ -638,6 +686,7 @@ def _cmd_watch(argv: List[str]) -> int:
         WatchState,
         render_board,
         replay,
+        snapshot,
         tail_jsonl,
     )
 
@@ -666,7 +715,15 @@ def _cmd_watch(argv: List[str]) -> int:
         action="store_true",
         help="render the current snapshot once and exit",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --once: emit the snapshot as JSON instead of the board",
+    )
     args = parser.parse_args(argv)
+    if args.json and not args.once:
+        print("watch: --json requires --once", file=sys.stderr)
+        return 2
     live_path = args.file or os.path.join(args.dir, LIVE_FILENAME)
     sidecar_dir = os.path.dirname(os.path.abspath(live_path))
     spans_path = os.path.join(sidecar_dir, "run_spans.jsonl")
@@ -696,13 +753,25 @@ def _cmd_watch(argv: List[str]) -> int:
         spans_seen += len(span_records)
         metric_records, metrics_offset = tail_jsonl(metrics_path, metrics_offset)
         metrics_seen += len(metric_records)
-        print(
-            render_board(
-                state,
-                spans_seen=spans_seen or None,
-                metrics_seen=metrics_seen or None,
+        if args.json:
+            print(
+                json.dumps(
+                    snapshot(
+                        state,
+                        spans_seen=spans_seen or None,
+                        metrics_seen=metrics_seen or None,
+                    ),
+                    sort_keys=True,
+                )
             )
-        )
+        else:
+            print(
+                render_board(
+                    state,
+                    spans_seen=spans_seen or None,
+                    metrics_seen=metrics_seen or None,
+                )
+            )
         if state.finished or args.once:
             return 0
         _time.sleep(max(0.05, args.interval))
@@ -876,6 +945,158 @@ def _cmd_compare(argv: List[str]) -> int:
     return 1 if report["regressed"] else 0
 
 
+def _cmd_slo(argv: List[str]) -> int:
+    """``repro slo``: evaluate SLO specs against a run manifest (the gate).
+
+    Re-evaluates post-hoc from the manifest's per-experiment ``domain``
+    metric streams (schema v5), so a spec can be tightened or swapped
+    without re-running anything. Exit codes: 0 all objectives met, 1 any
+    violated (or, under ``--strict``, skipped), 2 bad input — designed to
+    gate CI (see ``docs/observability.md``).
+    """
+    from repro.errors import ObservabilityError
+    from repro.obs import slo as slo_mod
+    from repro.runner.manifest import MANIFEST_FILENAME
+
+    parser = argparse.ArgumentParser(
+        prog="repro slo",
+        description="Evaluate SLO specs against a run manifest's domain "
+        "metric streams; exit nonzero on violation.",
+    )
+    parser.add_argument(
+        "--input",
+        default=MANIFEST_FILENAME,
+        help=f"run manifest to evaluate (default: {MANIFEST_FILENAME})",
+    )
+    parser.add_argument(
+        "--spec",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="SLO spec file (repeatable; default: the registry defaults "
+        "of every experiment in the manifest)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="run_metrics.jsonl for registry:... metric references "
+        "(default: next to the manifest when present)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat skipped objectives (missing metrics, failed "
+        "experiments) as failures",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the slo section as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.input, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"slo: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    experiment_ids = [
+        entry.get("id", "") for entry in manifest.get("experiments", [])
+    ]
+
+    try:
+        if args.spec:
+            specs = [slo_mod.load_spec(path) for path in args.spec]
+        else:
+            specs = slo_mod.load_default_specs(experiment_ids)
+    except (OSError, ObservabilityError) as exc:
+        print(f"slo: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print(
+            f"slo: no specs to evaluate for {args.input} "
+            "(no registry defaults; pass --spec)",
+            file=sys.stderr,
+        )
+        return 2
+
+    metrics_path = args.metrics
+    if metrics_path is None:
+        candidate = os.path.join(
+            os.path.dirname(os.path.abspath(args.input)), "run_metrics.jsonl"
+        )
+        metrics_path = candidate if os.path.exists(candidate) else None
+    registry_records = None
+    if metrics_path is not None:
+        try:
+            with open(metrics_path, encoding="utf-8") as handle:
+                registry_records = [
+                    json.loads(line) for line in handle if line.strip()
+                ]
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"slo: cannot read {metrics_path}: {exc}", file=sys.stderr)
+            return 2
+
+    section = slo_mod.evaluate_manifest(
+        manifest, specs, registry_records=registry_records
+    )
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    else:
+        print(f"== slo: {args.input} ==")
+        print(slo_mod.render_section(section))
+    return slo_mod.exit_code(section, strict=args.strict)
+
+
+def _cmd_dash(argv: List[str]) -> int:
+    """``repro dash``: render the static HTML observatory for one run."""
+    from repro.obs.dash import DASH_FILENAME, write_dash
+    from repro.runner.manifest import MANIFEST_FILENAME
+
+    parser = argparse.ArgumentParser(
+        prog="repro dash",
+        description="Render a run manifest (plus perf-history and metrics "
+        "sidecars) as one dependency-free static HTML dashboard.",
+    )
+    parser.add_argument(
+        "--input",
+        default=MANIFEST_FILENAME,
+        help=f"run manifest to render (default: {MANIFEST_FILENAME})",
+    )
+    parser.add_argument(
+        "--out",
+        default=DASH_FILENAME,
+        help=f"output HTML path (default: {DASH_FILENAME})",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="perf_history.jsonl for the trend section "
+        "(default: benchmarks/results/perf_history.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="run_metrics.jsonl for the energy-ledger section "
+        "(default: next to the manifest)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        out = write_dash(
+            args.input,
+            args.out,
+            history_path=args.history,
+            metrics_path=args.metrics,
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"dash: cannot render {args.input}: {exc}", file=sys.stderr)
+        return 2
+    print(f"dash: wrote {out}")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -898,6 +1119,10 @@ def main(argv: List[str] = None) -> int:
         return _cmd_spans(argv[1:], no_obs)
     if argv and argv[0] == "compare":
         return _cmd_compare(argv[1:])
+    if argv and argv[0] == "slo":
+        return _cmd_slo(argv[1:])
+    if argv and argv[0] == "dash":
+        return _cmd_dash(argv[1:])
     if argv and argv[0] == "lint":
         # Dispatched before experiment parsing so the subcommand name can
         # never collide with an experiment id (see docs/lint.md).

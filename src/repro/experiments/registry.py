@@ -56,6 +56,11 @@ class ExperimentSpec:
         (see ``repro.experiments.shapecheck``). Called with the merged
         result, it returns ``(ok, detail)`` asserting the paper's headline
         shape without re-running anything.
+    slo:
+        Optional repo-relative path to the experiment's default SLO spec
+        (see ``repro.obs.slo`` and ``docs/observability.md``). ``run-all``
+        evaluates it against the merged result's domain metrics; absent
+        files are skipped, so specs never gate where they don't exist.
     """
 
     id: str
@@ -63,6 +68,7 @@ class ExperimentSpec:
     runtime: str = "fast"
     sweep: Optional[str] = None
     check: Optional[str] = None
+    slo: Optional[str] = None
 
     def resolve(self) -> Callable:
         """The driver callable behind :attr:`target`."""
@@ -84,6 +90,7 @@ def _spec(
     target: str,
     runtime: str = "fast",
     sweep: Optional[str] = None,
+    slo: Optional[str] = None,
 ) -> ExperimentSpec:
     """Build one spec; shape checks follow the ``check_<id>`` convention."""
     return ExperimentSpec(
@@ -92,6 +99,7 @@ def _spec(
         runtime=runtime,
         sweep=sweep,
         check=f"repro.experiments.shapecheck:check_{experiment_id}",
+        slo=slo,
     )
 
 
@@ -111,20 +119,28 @@ SPECS: Dict[str, ExperimentSpec] = {
             "repro.experiments.fig06_traffic:run_fig06a",
             runtime="slow",
             sweep="repro.experiments.sweeps:fig6a_sweep",
+            slo="slos/fig6a.json",
         ),
         _spec(
             "fig6b",
             "repro.experiments.fig06_traffic:run_fig06b",
             runtime="medium",
             sweep="repro.experiments.sweeps:fig6b_sweep",
+            slo="slos/fig6b.json",
         ),
         _spec(
             "fig6c",
             "repro.experiments.fig06_traffic:run_fig06c",
             runtime="slow",
             sweep="repro.experiments.sweeps:fig6c_sweep",
+            slo="slos/fig6c.json",
         ),
-        _spec("fig7", "repro.experiments.fig06_traffic:run_fig07", runtime="medium"),
+        _spec(
+            "fig7",
+            "repro.experiments.fig06_traffic:run_fig07",
+            runtime="medium",
+            slo="slos/fig7.json",
+        ),
         _spec(
             "fig8",
             "repro.experiments.fig08_fairness:run_fig08",
@@ -134,14 +150,22 @@ SPECS: Dict[str, ExperimentSpec] = {
         _spec("fig9", "repro.experiments.fig09_return_loss:run_fig09"),
         _spec("fig10", "repro.experiments.fig10_rectifier:run_fig10"),
         _spec("fig11", "repro.experiments.fig11_temperature:run_fig11"),
-        _spec("fig12", "repro.experiments.fig12_camera:run_fig12"),
+        _spec(
+            "fig12",
+            "repro.experiments.fig12_camera:run_fig12",
+            slo="slos/fig12.json",
+        ),
         _spec("fig13", "repro.experiments.fig13_walls:run_fig13"),
         _spec(
             "fig14",
             "repro.experiments.fig14_homes:run_fig14",
             sweep="repro.experiments.sweeps:fig14_sweep",
         ),
-        _spec("fig15", "repro.experiments.fig15_home_sensor:run_fig15"),
+        _spec(
+            "fig15",
+            "repro.experiments.fig15_home_sensor:run_fig15",
+            slo="slos/fig15.json",
+        ),
         _spec("table1", "repro.experiments.table1_homes:run_table1"),
         _spec("sec8a", "repro.experiments.sec8a_charger:run_sec8a"),
         _spec(

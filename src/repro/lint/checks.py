@@ -20,10 +20,11 @@ PW006     Obs metric names are dotted-lowercase string literals.
 from __future__ import annotations
 
 import ast
+import json
 import re
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, Severity
 from repro.lint.rules import FileContext, Rule, register
 
 # --------------------------------------------------------------------- shared
@@ -457,6 +458,12 @@ _SPAN_METHODS: FrozenSet[str] = frozenset({"begin", "span"})
 #: ``layer.component.metric`` — at least two dotted lowercase segments.
 _METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 
+#: Where the SLO objective factory lives; ``objective(...)`` call sites are
+#: held to the same literal-dotted-name contract as metric names, but only
+#: when the name demonstrably resolves there (import-map check), so foreign
+#: ``objective`` functions never false-positive.
+_SLO_MODULE = "repro.obs.slo"
+
 
 @register
 class MetricNameRule(Rule):
@@ -467,6 +474,10 @@ class MetricNameRule(Rule):
     and since the span-tracing PR, a span name (``sim.engine.run``) must be
     findable the same way. Computed names (f-strings, variables) break
     that; dynamic dimensions belong in labels, not the name.
+
+    Since the SLO PR the same contract covers SLO objective ids: an id in a
+    scorecard or alert must grep back to its ``objective(...)`` call site
+    (and, via :func:`check_slo_spec_file`, to its ``slos/*.json`` entry).
     """
 
     code = "PW006"
@@ -475,13 +486,30 @@ class MetricNameRule(Rule):
     node_types = (ast.Call,)
 
     def applies(self, ctx: FileContext) -> bool:
-        # The registry/recorder themselves pass validated names through
-        # variables.
-        return ctx.module not in ("repro.obs.metrics", "repro.obs.spans")
+        # The registry/recorder/evaluator themselves pass validated names
+        # through variables.
+        return ctx.module not in ("repro.obs.metrics", "repro.obs.spans", _SLO_MODULE)
+
+    def _is_slo_objective(self, ctx: FileContext, func: ast.AST) -> bool:
+        """Does this call target ``repro.obs.slo.objective``?
+
+        Covers the bare imported name (``from repro.obs.slo import
+        objective``) and attribute access on an imported module alias
+        (``from repro.obs import slo; slo.objective(...)``).
+        """
+        if isinstance(func, ast.Name):
+            return ctx.imports.get(func.id) == f"{_SLO_MODULE}.objective"
+        if isinstance(func, ast.Attribute) and func.attr == "objective":
+            if isinstance(func.value, ast.Name):
+                return ctx.imports.get(func.value.id) == _SLO_MODULE
+        return False
 
     def visit(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
         assert isinstance(node, ast.Call)
         func = node.func
+        if self._is_slo_objective(ctx, func):
+            yield from self._check_objective(ctx, node)
+            return
         if not isinstance(func, ast.Attribute):
             return
         if func.attr in _METRIC_METHODS:
@@ -513,3 +541,88 @@ class MetricNameRule(Rule):
                 f"{noun} name {name_arg.value!r} is not dotted-lowercase "
                 f"(layer.component.{'operation' if noun == 'span' else 'metric'})",
             )
+
+    def _check_objective(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        """The objective-id argument of ``objective(...)`` must be literal."""
+        id_arg: Optional[ast.AST] = node.args[0] if node.args else None
+        if id_arg is None:
+            for keyword_arg in node.keywords:
+                if keyword_arg.arg == "objective_id":
+                    id_arg = keyword_arg.value
+                    break
+        if id_arg is None:
+            return
+        if not (isinstance(id_arg, ast.Constant) and isinstance(id_arg.value, str)):
+            yield self.finding(
+                ctx,
+                id_arg,
+                "SLO objective id passed to objective() must be a string "
+                "literal (ids are grepped from scorecards back to their "
+                "definition)",
+            )
+            return
+        if not _METRIC_NAME_RE.match(id_arg.value):
+            yield self.finding(
+                ctx,
+                id_arg,
+                f"SLO objective id {id_arg.value!r} is not dotted-lowercase "
+                "(layer.component.objective)",
+            )
+
+
+def check_slo_spec_file(path: str, source: str) -> List[Finding]:
+    """PW006 over one ``slos/*.json`` SLO spec file.
+
+    The JSON half of the rule: every ``objectives[].id`` must be a
+    dotted-lowercase literal, exactly as at ``objective(...)`` call sites —
+    a scorecard id greps to its spec entry or the contract is broken.
+    Structural validation (schema, kinds, duplicate ids) stays with
+    ``repro.obs.slo.parse_spec``; the lint pass only owns the naming rule,
+    so a malformed file yields one parse finding rather than a crash.
+
+    Line numbers point at the ``"id"`` occurrence inside the source text so
+    editors can jump to the offending entry.
+    """
+    findings: List[Finding] = []
+    try:
+        data = json.loads(source)
+    except ValueError as exc:
+        return [
+            Finding(
+                code="PW006",
+                message=f"SLO spec is not valid JSON: {exc}",
+                path=path,
+                line=getattr(exc, "lineno", 1) or 1,
+                severity=Severity.ERROR,
+            )
+        ]
+    objectives = data.get("objectives") if isinstance(data, dict) else None
+    if not isinstance(objectives, list):
+        return findings
+    lines = source.splitlines()
+    for entry in objectives:
+        if not isinstance(entry, dict):
+            continue
+        objective_id = entry.get("id")
+        if isinstance(objective_id, str) and _METRIC_NAME_RE.match(objective_id):
+            continue
+        line_no, line_text = 1, ""
+        needle = json.dumps(objective_id) if isinstance(objective_id, str) else '"id"'
+        for index, text in enumerate(lines, start=1):
+            if needle in text:
+                line_no, line_text = index, text.strip()
+                break
+        findings.append(
+            Finding(
+                code="PW006",
+                message=(
+                    f"SLO objective id {objective_id!r} is not dotted-lowercase "
+                    "(layer.component.objective)"
+                ),
+                path=path,
+                line=line_no,
+                severity=Severity.ERROR,
+                line_text=line_text,
+            )
+        )
+    return findings

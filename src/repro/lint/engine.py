@@ -100,6 +100,33 @@ def iter_python_files(paths: Iterable[Path], config: LintConfig) -> List[Path]:
     return kept
 
 
+def iter_slo_spec_files(paths: Iterable[Path], config: LintConfig) -> List[Path]:
+    """SLO spec JSONs in ``paths``: explicit ``.json`` args, plus any
+    ``slos/*.json`` beneath directory args (the linted naming contract —
+    see ``repro.lint.checks.check_slo_spec_file``)."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p for p in path.rglob("*.json") if p.parent.name == "slos"
+            )
+        elif path.suffix == ".json":
+            files.append(path)
+    unique = sorted({p.resolve() for p in files})
+    kept = []
+    for path in unique:
+        relative = str(path)
+        if config.root is not None:
+            try:
+                relative = str(path.relative_to(config.root))
+            except ValueError:
+                pass
+        if any(fnmatch(relative, pattern) for pattern in config.exclude):
+            continue
+        kept.append(path)
+    return kept
+
+
 def lint_paths(
     paths: Iterable[str],
     config: Optional[LintConfig] = None,
@@ -109,6 +136,8 @@ def lint_paths(
 
     Paths are reported relative to the config root (the ``pyproject.toml``
     directory) when possible, so fingerprints are machine-independent.
+    Alongside the ``.py`` walk, SLO spec files (explicit ``.json`` args and
+    ``slos/*.json`` under directories) get the PW006 objective-id check.
     """
     config = config or LintConfig()
     findings: List[Finding] = []
@@ -124,6 +153,18 @@ def lint_paths(
                 config=config,
                 codes=frozenset(tree_codes) if tree_codes is not None else None,
             )
+        )
+    from repro.lint.checks import check_slo_spec_file
+
+    for path in iter_slo_spec_files([Path(p) for p in paths], config):
+        display = display_path(path, config)
+        tree_codes = config.codes_for_display_path(display)
+        if tree_codes is not None and "PW006" not in tree_codes:
+            continue
+        if not config.rule_enabled("PW006"):
+            continue
+        findings.extend(
+            check_slo_spec_file(display, path.read_text(encoding="utf-8"))
         )
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
     assign_occurrences(findings)

@@ -167,6 +167,36 @@ def compare_runs(
                 }
             )
 
+    # SLO deltas (v5+ history records carry an ``slo`` summary): any
+    # objective whose status changed between the runs, plus its margin
+    # movement. Advisory like the kind rows — an SLO flip never flips
+    # ``regressed`` on its own; ``repro slo --strict`` is the SLO gate, and
+    # compare only points at what moved.
+    slo_rows: List[Dict[str, Any]] = []
+    base_slo: Dict[str, Dict[str, Any]] = (base.get("slo") or {}).get(
+        "objectives"
+    ) or {}
+    new_slo: Dict[str, Dict[str, Any]] = (new.get("slo") or {}).get(
+        "objectives"
+    ) or {}
+    for key in sorted(set(base_slo) & set(new_slo)):
+        a, b = base_slo[key], new_slo[key]
+        status_a, status_b = a.get("status"), b.get("status")
+        margin_a, margin_b = a.get("margin"), b.get("margin")
+        delta_margin = None
+        if isinstance(margin_a, (int, float)) and isinstance(margin_b, (int, float)):
+            delta_margin = round(float(margin_b) - float(margin_a), 9)
+        if status_a != status_b or delta_margin:
+            slo_rows.append(
+                {
+                    "objective": key,
+                    "base_status": status_a,
+                    "new_status": status_b,
+                    "delta_margin": delta_margin,
+                    "flipped": status_a != status_b,
+                }
+            )
+
     wall_regressions = [row for row in wall_rows if row["regressed"]]
     return {
         "type": "compare",
@@ -184,6 +214,8 @@ def compare_runs(
         "metric_deltas": metric_rows,
         "kind_deltas": kind_rows,
         "kind_regressions": [row["kind"] for row in kind_rows if row["flagged"]],
+        "slo_deltas": slo_rows,
+        "slo_flips": [row["objective"] for row in slo_rows if row["flipped"]],
         "determinism_drift": drift_rows,
         "regressed": bool(wall_regressions or drift_rows),
     }
@@ -221,6 +253,17 @@ def render_compare(report: Dict[str, Any]) -> str:
             f"  kind {row['kind']:<22} {row['base_wall_s']:7.3f}s -> "
             f"{row['new_wall_s']:7.3f}s ({row['ratio']:+7.1%}) "
             f"count {row['delta_count']:+d}  [{row['component']}]{flag}"
+        )
+    for row in report.get("slo_deltas", []):
+        flag = " <-- SLO flip (advisory; gate with 'repro slo')" if row["flipped"] else ""
+        margin = (
+            f" margin {row['delta_margin']:+g}"
+            if row["delta_margin"] is not None
+            else ""
+        )
+        lines.append(
+            f"  slo {row['objective']:<44} {row['base_status']} -> "
+            f"{row['new_status']}{margin}{flag}"
         )
     if report["seeds_match"] and report["code_match"]:
         if report["determinism_drift"]:

@@ -91,6 +91,23 @@ def build_history_record(
     from repro.obs.profile import kind_baselines, rows_from_manifest
 
     kinds = kind_baselines(rows_from_manifest(manifest))
+    # SLO summary (v5+ manifests): counts plus a per-objective status map,
+    # enough for `repro compare` to flag an objective that flipped from ok
+    # to violated between two runs without re-reading either manifest.
+    # Pre-v5 manifests yield {} — compare then has nothing to say.
+    slo_summary: Dict[str, Any] = {}
+    slo_section = manifest.get("slo")
+    if isinstance(slo_section, dict) and slo_section.get("objectives"):
+        slo_summary = {
+            "counts": dict(slo_section.get("counts", {})),
+            "objectives": {
+                f"{row.get('experiment')}:{row.get('id')}": {
+                    "status": row.get("status"),
+                    "margin": row.get("margin"),
+                }
+                for row in slo_section["objectives"]
+            },
+        }
     return {
         "schema": HISTORY_SCHEMA_VERSION,
         "kind": "perf_history",
@@ -103,6 +120,7 @@ def build_history_record(
         "totals": totals,
         "experiments": experiments,
         "kinds": kinds,
+        "slo": slo_summary,
     }
 
 

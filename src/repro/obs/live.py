@@ -245,9 +245,19 @@ def tail_jsonl(
     returned offset can be fed straight back in next tick. Malformed lines
     (torn writes from a crashed producer) are skipped, not fatal. A missing
     file yields ``([], offset)``.
+
+    Truncation is detected: when the file is now *shorter* than the
+    consumed offset (a new ``run-all --live`` truncated and restarted the
+    stream mid-watch), the tail restarts from byte zero instead of reading
+    past EOF forever — the watcher picks up the new run's events, and the
+    seq-guard in :func:`replay` keeps duplicate folds idempotent.
     """
     try:
         with open(path, "rb") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            if size < offset:
+                offset = 0
             handle.seek(offset)
             blob = handle.read()
     except OSError:
@@ -280,9 +290,15 @@ class WatchState:
     #: Part-order as first seen, so the board is stable across refreshes.
     order: List[Tuple[str, str]] = field(default_factory=list)
     faults: List[Dict[str, Any]] = field(default_factory=list)
+    #: experiment id → its latest ``experiment.slo`` record (online SLO).
+    slo: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     done: Optional[Dict[str, Any]] = None
     last_t_s: float = 0.0
     events: int = 0
+    #: Seq numbers already folded (duplicate delivery is dropped) and the
+    #: count of records skipped by the seq guard.
+    seen_seqs: set = field(default_factory=set)
+    duplicates: int = 0
 
     @property
     def finished(self) -> bool:
@@ -332,9 +348,22 @@ def replay(
     Pass the previous tick's state back in with only the newly tailed
     records; passing the full stream into a fresh state gives the same
     result — the fold is associative over stream prefixes.
+
+    The fold is hardened against imperfect delivery: a record whose ``seq``
+    was already folded is dropped (duplicate delivery after a tail restart),
+    and a ``part.state`` record older than the part's last applied ``seq``
+    cannot regress that part (out-of-order delivery) — both tallied in
+    :attr:`WatchState.duplicates`. Records without a ``seq`` (hand-written
+    streams, tests) fold unconditionally, exactly as before.
     """
     state = state or WatchState()
     for record in records:
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if seq in state.seen_seqs:
+                state.duplicates += 1
+                continue
+            state.seen_seqs.add(seq)
         state.events += 1
         t_s = record.get("t_s")
         if isinstance(t_s, (int, float)):
@@ -348,6 +377,14 @@ def replay(
                 state.order.append(key)
                 state.parts[key] = {}
             previous = state.parts[key]
+            last_seq = previous.get("seq")
+            if (
+                isinstance(seq, int)
+                and isinstance(last_seq, int)
+                and seq < last_seq
+            ):
+                state.duplicates += 1
+                continue
             merged = dict(previous)
             merged.update(record)
             # A queued event's expected wall must survive later transitions.
@@ -356,6 +393,8 @@ def replay(
             state.parts[key] = merged
         elif kind == "fault":
             state.faults.append(dict(record))
+        elif kind == "experiment.slo":
+            state.slo[str(record.get("experiment", ""))] = dict(record)
         elif kind == "run.done":
             state.done = dict(record)
     return state
@@ -376,7 +415,13 @@ def render_board(
     metrics_seen: Optional[int] = None,
     max_parts: int = 40,
 ) -> str:
-    """Render one watch refresh: header, per-part board, counters, footer."""
+    """Render one watch refresh: header, per-part board, counters, footer.
+
+    When the stream carries ``experiment.slo`` events (the online SLO
+    evaluator), each part row grows a trailing SLO column for its
+    experiment — ``slo:ok`` / ``slo:VIOL(n)`` — and a summary footer lists
+    every evaluated experiment.
+    """
     run = state.run
     header = (
         f"== watch == seed={run.get('seed', '?')} jobs={run.get('jobs', '?')} "
@@ -400,8 +445,13 @@ def render_board(
             expected = record.get("expected_wall_s")
             if expected is not None:
                 detail = f"~{_format_eta(float(expected))}"
+        slo_cell = ""
+        slo_record = state.slo.get(key[0])
+        if slo_record is not None:
+            violated = slo_record.get("violated", 0)
+            slo_cell = f"  slo:{'ok' if not violated else f'VIOL({violated})'}"
         label = f"{key[0]}:{key[1]}"
-        lines.append(f"  {label:<{width}}  {part_state:<11} {detail}")
+        lines.append(f"  {label:<{width}}  {part_state:<11} {detail}{slo_cell}")
     if len(state.order) > len(shown):
         lines.append(f"  ... {len(state.order) - len(shown)} more part(s)")
     tally = state.counts()
@@ -411,8 +461,21 @@ def render_board(
             f"{name}={tally[name]}" for name in PART_STATES if tally[name]
         )
     )
+    if state.slo:
+        cells = []
+        for exp_id in sorted(state.slo):
+            record = state.slo[exp_id]
+            violated = record.get("violated", 0)
+            skipped = record.get("skipped", 0)
+            cell = f"{exp_id}={'ok' if not violated else f'VIOL({violated})'}"
+            if skipped:
+                cell += f"+{skipped}skip"
+            cells.append(cell)
+        lines.append("  slo: " + "  ".join(cells))
     if state.faults:
         lines.append(f"  faults: {len(state.faults)} event(s)")
+    if state.duplicates:
+        lines.append(f"  stream: {state.duplicates} duplicate/stale record(s) dropped")
     sidecars = []
     if spans_seen is not None:
         sidecars.append(f"spans={spans_seen}")
@@ -422,10 +485,66 @@ def render_board(
         lines.append("  sidecars: " + " ".join(sidecars))
     if state.finished:
         done = state.done or {}
-        lines.append(
+        done_line = (
             f"  run done: ok={done.get('ok', '?')} failed={done.get('failed', '?')} "
             f"cache_hits={done.get('cache_hits', '?')} wall={done.get('wall_s', '?')}s "
             f"dropped(spans={done.get('spans_dropped', 0)}, "
             f"live={done.get('live_dropped', 0)})"
         )
+        if "slo_violated" in done:
+            done_line += f" slo_violated={done['slo_violated']}"
+        lines.append(done_line)
     return "\n".join(lines)
+
+
+def snapshot(
+    state: WatchState,
+    spans_seen: Optional[int] = None,
+    metrics_seen: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The watch board as one machine-readable dict (``watch --once --json``).
+
+    Everything :func:`render_board` prints, but structured: per-part state
+    rows in first-seen order, lifecycle counts, online SLO records, fault
+    count, ETA, and the ``run.done`` record once it lands. Keys are stable;
+    consumers should treat absent optional keys (``eta_s``, ``done``) as
+    "not known yet".
+    """
+    parts = []
+    for key in state.order:
+        record = state.parts[key]
+        parts.append(
+            {
+                "experiment": key[0],
+                "part": key[1],
+                "state": record.get("state", "queued"),
+                "attempt": record.get("attempt"),
+                "wall_s": record.get("wall_s"),
+                "expected_wall_s": record.get("expected_wall_s"),
+                "error": record.get("error"),
+            }
+        )
+    return {
+        "schema": LIVE_SCHEMA_VERSION,
+        "run": dict(state.run),
+        "elapsed_s": state.last_t_s,
+        "eta_s": state.eta_s(),
+        "events": state.events,
+        "duplicates": state.duplicates,
+        "counts": state.counts(),
+        "parts": parts,
+        "slo": {
+            exp_id: {
+                "ok": record.get("ok"),
+                "violated": record.get("violated"),
+                "skipped": record.get("skipped"),
+                "objectives": record.get("objectives"),
+            }
+            for exp_id, record in sorted(state.slo.items())
+        },
+        "faults": len(state.faults),
+        "spans_seen": spans_seen,
+        "metrics_seen": metrics_seen,
+        "finished": state.finished,
+        "done": dict(state.done) if state.done else None,
+    }

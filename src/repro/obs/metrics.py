@@ -284,7 +284,17 @@ class Histogram(_Instrument):
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the reservoir."""
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the reservoir.
+
+        Edge cases are part of the contract (SLO evaluators and the span
+        summary rely on them):
+
+        * **empty histogram** — returns ``0.0``, never raises;
+        * **single observation** — returns that observation for every ``q``;
+        * ``q`` outside [0, 1] (NaN included) raises
+          :class:`~repro.errors.ObservabilityError` — an out-of-range
+          quantile is a caller bug, not a data condition.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
         if not self._reservoir:
@@ -297,13 +307,18 @@ class Histogram(_Instrument):
         """Estimate the ``q``-th percentile (``q`` in [0, 100]).
 
         Convenience alias over :meth:`quantile` so consumers (the span
-        summary, ``repro compare`` tooling) never re-implement bucket math.
+        summary, ``repro compare`` tooling) never re-implement bucket math;
+        it inherits :meth:`quantile`'s documented edge cases — ``0.0`` on an
+        empty histogram, the sole observation when only one was recorded,
+        and :class:`~repro.errors.ObservabilityError` outside [0, 100].
 
         >>> h = Histogram("demo.wall_s", (), buckets=(1, 10))
         >>> for value in range(1, 11):
         ...     h.observe(float(value))
         >>> h.percentile(50.0)
         6.0
+        >>> Histogram("empty", (), buckets=(1,)).percentile(99.0)
+        0.0
         """
         if not 0.0 <= q <= 100.0:
             raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
@@ -370,12 +385,27 @@ class Timeseries(_Instrument):
     def rate(self) -> float:
         """Average change per second across the sampled window.
 
-        ``(last - first) / (t_last - t_first)``; 0.0 with fewer than two
-        samples or a zero-width window (repeated-timestamp samples are
-        legal — simulation time may stand still across events).
+        ``(last - first) / (t_last - t_first)``. The degenerate cases all
+        return ``0.0`` by contract — never ``inf``/``nan``, never a raise —
+        because SLO specs reference ``registry:...#rate`` and an empty or
+        instantaneous series must read as "no measured change", not poison
+        the evaluation:
+
+        * **empty series** and **single sample** — no interval to rate over;
+        * **zero-span window** (all samples share one timestamp) —
+          repeated-timestamp samples are legal, simulation time may stand
+          still across events.
 
         >>> ts = Timeseries("demo.level", ())
-        >>> ts.sample(0.0, 1.0); ts.sample(4.0, 9.0)
+        >>> ts.rate()
+        0.0
+        >>> ts.sample(2.0, 5.0)
+        >>> ts.rate()
+        0.0
+        >>> ts.sample(2.0, 9.0)  # same instant: zero-span window
+        >>> ts.rate()
+        0.0
+        >>> ts.sample(4.0, 9.0)
         >>> ts.rate()
         2.0
         """

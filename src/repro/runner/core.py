@@ -121,6 +121,11 @@ class ExperimentRun:
     shape_ok: Optional[bool] = None
     shape_detail: str = ""
     error: Optional[str] = None
+    #: Domain metric streams extracted from the merged result
+    #: (:func:`repro.obs.slo.domain_metrics`); ``{}`` when the experiment
+    #: failed or has no extractor. Cache hits still carry domain metrics —
+    #: extraction runs on the loaded result, not on execution.
+    domain: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -160,6 +165,11 @@ class RunAllResult:
     spans_dropped: int = 0
     #: Live events workers failed to enqueue on the streaming channel.
     live_dropped: int = 0
+    #: Evaluated SLO objective rows, sorted by (experiment, id); the
+    #: manifest's ``slo`` section is assembled from these.
+    slo_rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Paths of the SLO specs that produced :attr:`slo_rows`.
+    slo_spec_paths: List[str] = field(default_factory=list)
 
     @property
     def cache_hits(self) -> int:
@@ -358,6 +368,7 @@ def run_all(
     task_timeout_s: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
     live_sink: Optional[Any] = None,
+    slo_specs: Optional[Sequence[Any]] = None,
 ) -> RunAllResult:
     """Regenerate the selected experiments, in parallel and cached.
 
@@ -400,6 +411,13 @@ def run_all(
         Pool workers additionally publish their own ``running``
         transitions over a bounded queue. ``None`` (default) streams
         nothing; the sink never influences execution or results.
+    slo_specs:
+        :class:`~repro.obs.slo.SloSpec` objects to evaluate against each
+        experiment's domain metrics as it merges. ``None`` (default) loads
+        the registry-declared default spec of every selected experiment
+        (missing spec files are skipped); pass ``[]`` to disable SLO
+        evaluation entirely. Evaluation is pure observation — it never
+        changes results, hashes, or the run's exit status.
     """
     started = time.perf_counter()
     ordered_ids = resolve_ids(ids)
@@ -420,6 +438,22 @@ def run_all(
     )
 
     planned = [_plan_experiment(get_spec(key), seed, fingerprint) for key in ordered_ids]
+
+    # Resolve the SLO specs up front so a malformed default surfaces as a
+    # progress warning, never as a failed run (explicit specs are validated
+    # by the CLI before reaching here).
+    from repro.obs import slo as slo_mod
+
+    if slo_specs is None:
+        try:
+            slo_specs = slo_mod.load_default_specs(ordered_ids)
+        except Exception as exc:
+            emit(f"[slo] skipping default specs: {exc}")
+            slo_specs = []
+    specs_by_experiment: Dict[str, List[Any]] = {}
+    for slo_spec in slo_specs:
+        specs_by_experiment.setdefault(slo_spec.experiment, []).append(slo_spec)
+    slo_rows: List[Dict[str, Any]] = []
 
     # Bind fault directives to task labels before the cache probe: the
     # cache.corrupt point must damage entries ahead of their probe, and
@@ -914,7 +948,39 @@ def run_all(
                 pickle.dumps(run.result, protocol=pickle.HIGHEST_PROTOCOL)
             ).hexdigest()
             run.shape_ok, run.shape_detail = _shape_check(plan.spec, run.result)
+            run.domain = slo_mod.domain_metrics(run.id, run.result)
         runs.append(run)
+        # Online SLO evaluation: verdicts stream out the moment the
+        # experiment merges, so `repro watch` shows SLO state mid-run.
+        experiment_specs = specs_by_experiment.get(run.id, [])
+        if experiment_specs:
+            rows = slo_mod.evaluate_specs(
+                experiment_specs,
+                {run.id: run.domain},
+                errors={run.id: run.error},
+            )
+            slo_rows.extend(rows)
+            violated = sum(1 for row in rows if row["status"] == "violated")
+            if violated:
+                emit(
+                    f"[slo] {run.id}: {violated}/{len(rows)} objective(s) violated"
+                )
+            if live_sink is not None:
+                live_sink.emit(
+                    "experiment.slo",
+                    experiment=run.id,
+                    ok=sum(1 for row in rows if row["status"] == "ok"),
+                    violated=violated,
+                    skipped=sum(1 for row in rows if row["status"] == "skipped"),
+                    objectives=[
+                        {
+                            "id": row["id"],
+                            "status": row["status"],
+                            "margin": row["margin"],
+                        }
+                        for row in rows
+                    ],
+                )
         status = "ok" if run.ok else "FAIL"
         source = "hit" if run.cache_hit else ("partial" if any(p.cache_hit for p in parts) else "run")
         emit(
@@ -935,6 +1001,7 @@ def run_all(
         if record["span_id"] not in prior_ids
     ]
     spans_dropped = spans.dropped + worker_spans_dropped
+    slo_rows.sort(key=lambda row: (row["experiment"], row["id"]))
     if live_sink is not None:
         live_sink.emit(
             "run.done",
@@ -945,6 +1012,9 @@ def run_all(
             interrupted=interrupted,
             spans_dropped=spans_dropped,
             live_dropped=live_dropped,
+            slo_violated=sum(
+                1 for row in slo_rows if row["status"] == "violated"
+            ),
         )
     return RunAllResult(
         runs=runs,
@@ -963,4 +1033,6 @@ def run_all(
         quarantined=list(cache.quarantine_events) if cache is not None else [],
         spans_dropped=spans_dropped,
         live_dropped=live_dropped,
+        slo_rows=slo_rows,
+        slo_spec_paths=[spec.path for spec in slo_specs],
     )

@@ -29,6 +29,7 @@ import time
 from typing import Any, Dict, List
 
 from repro.obs.ioutil import write_atomic
+from repro.obs.slo import section_from_rows
 from repro.obs.spans import SPAN_SCHEMA_VERSION
 from repro.runner.core import RunAllResult
 
@@ -41,7 +42,12 @@ from repro.runner.core import RunAllResult
 #: v4 (profiler PR): per-part ``engine.profile`` attribution maps
 #: (per event kind: component, dispatch count, sampled wall, sim-time
 #: bounds) and ``spans_dropped``/``live_dropped`` in totals.
-MANIFEST_SCHEMA_VERSION = 4
+#: v5 (SLO PR): per-experiment ``domain`` metric streams extracted from
+#: merged results, and a top-level ``slo`` section (per-objective status,
+#: signed margin, worst window) evaluated from the registry-default and
+#: explicitly passed SLO specs. Both are pure functions of the results:
+#: equal seeds produce byte-identical sections.
+MANIFEST_SCHEMA_VERSION = 5
 
 #: Default output filename.
 MANIFEST_FILENAME = "run_manifest.json"
@@ -57,6 +63,7 @@ EXPERIMENT_KEYS = (
     "shape_detail",
     "result_sha256",
     "error",
+    "domain",
     "parts",
 )
 
@@ -141,6 +148,7 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
                 "shape_detail": record.shape_detail,
                 "result_sha256": record.result_sha256,
                 "error": record.error,
+                "domain": record.domain,
                 "parts": [
                     {
                         "part": part.part,
@@ -199,6 +207,7 @@ def build_manifest(run: RunAllResult) -> Dict[str, Any]:
             "count": len(run.spans),
             "records": run.spans,
         },
+        "slo": section_from_rows(run.slo_rows, run.slo_spec_paths),
         "experiments": experiments,
     }
 

@@ -423,6 +423,140 @@ class TestPW006SpanNames:
         assert findings == []
 
 
+class TestPW006SloObjectives:
+    """The SLO extension: objective ids are literals at call sites and in
+    ``slos/*.json`` spec files."""
+
+    def test_true_positive_non_dotted_id(self):
+        findings = run_lint(
+            """
+            from repro.obs.slo import objective
+
+            OBJ = objective("BadName", "channel.occupancy.cumulative.mean")
+            """,
+            module=DRIVER_MODULE,
+        )
+        assert codes(findings) == ["PW006"]
+
+    def test_true_positive_dynamic_id(self):
+        findings = run_lint(
+            """
+            from repro.obs.slo import objective
+
+            def build(name):
+                return objective(name, "channel.occupancy.cumulative.mean")
+            """,
+            module=DRIVER_MODULE,
+        )
+        assert codes(findings) == ["PW006"]
+
+    def test_true_positive_module_alias_and_kwarg(self):
+        findings = run_lint(
+            """
+            from repro.obs import slo
+
+            A = slo.objective("nodots", "a.b")
+            B = slo.objective(objective_id="also bad", metric="a.b")
+            """,
+            module=DRIVER_MODULE,
+        )
+        assert codes(findings) == ["PW006", "PW006"]
+
+    def test_clean_dotted_objective(self):
+        findings = run_lint(
+            """
+            from repro.obs.slo import objective
+
+            OBJ = objective(
+                "client.plt.powifi_delta",
+                "client.plt.powifi_delta_s",
+                op="<=",
+                value=0.5,
+            )
+            """,
+            module=DRIVER_MODULE,
+        )
+        assert findings == []
+
+    def test_clean_foreign_objective_function(self):
+        """A local function named ``objective`` is not the SLO factory."""
+        findings = run_lint(
+            """
+            def objective(x):
+                return x
+
+            VALUE = objective("whatever")
+            """,
+            module=DRIVER_MODULE,
+        )
+        assert findings == []
+
+    def test_clean_exempt_inside_slo_module(self):
+        findings = run_lint(
+            """
+            from repro.obs.slo import objective
+
+            def rebuild(objective_id, metric):
+                return objective(objective_id, metric)
+            """,
+            module="repro.obs.slo",
+        )
+        assert findings == []
+
+    def test_spec_file_bad_id_flagged_with_line(self):
+        from repro.lint.checks import check_slo_spec_file
+
+        source = (
+            '{\n  "schema": 1,\n  "experiment": "fig7",\n  "objectives": [\n'
+            '    {"id": "BadName", "metric": "a.b", "kind": "threshold",\n'
+            '     "op": ">=", "value": 1.0}\n  ]\n}\n'
+        )
+        findings = check_slo_spec_file("slos/demo.json", source)
+        assert codes(findings) == ["PW006"]
+        assert findings[0].line == 5
+        assert "BadName" in findings[0].message
+
+    def test_spec_file_clean_and_invalid_json(self):
+        from repro.lint.checks import check_slo_spec_file
+
+        clean = (
+            '{"schema": 1, "experiment": "fig7", "objectives": ['
+            '{"id": "channel.occupancy.cumulative_mean", "metric": "a.b",'
+            ' "kind": "threshold", "op": ">=", "value": 1.0}]}'
+        )
+        assert check_slo_spec_file("slos/fig7.json", clean) == []
+        broken = check_slo_spec_file("slos/bad.json", "{oops")
+        assert codes(broken) == ["PW006"]
+        assert "not valid JSON" in broken[0].message
+
+    def test_repo_spec_files_are_clean(self):
+        from repro.lint.checks import check_slo_spec_file
+
+        spec_dir = REPO_ROOT / "slos"
+        spec_paths = sorted(spec_dir.glob("*.json"))
+        assert spec_paths, "repo ships default SLO specs"
+        for path in spec_paths:
+            assert check_slo_spec_file(str(path), path.read_text()) == []
+
+    def test_lint_paths_walks_slos_dir(self, tmp_path):
+        from repro.lint.config import LintConfig
+        from repro.lint.engine import lint_paths
+
+        spec_dir = tmp_path / "slos"
+        spec_dir.mkdir()
+        (spec_dir / "demo.json").write_text(
+            '{"schema": 1, "experiment": "fig7", "objectives": ['
+            '{"id": "NotDotted", "metric": "a.b", "kind": "threshold",'
+            ' "op": ">=", "value": 1.0}]}'
+        )
+        (tmp_path / "other.json").write_text("{}")  # not under slos/: ignored
+        findings = lint_paths(
+            [str(tmp_path)], config=LintConfig(), use_baseline=False
+        )
+        assert codes(findings) == ["PW006"]
+        assert findings[0].path.endswith("demo.json")
+
+
 class TestPragmas:
     def test_bare_ignore_suppresses_everything(self):
         findings = run_lint(

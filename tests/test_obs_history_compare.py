@@ -333,3 +333,68 @@ class TestEndToEndAcceptance:
         history = load_history(tmp_path / "hist" / "perf_history.jsonl")
         assert len(history) == 2
         assert all(r["kind"] == "perf_history" for r in history)
+
+
+def with_slo(manifest, status="ok", margin=0.25):
+    """Attach a minimal v5 slo section to a make_manifest() manifest."""
+    manifest = copy.deepcopy(manifest)
+    manifest["slo"] = {
+        "schema": 1,
+        "specs": ["slos/fig5.json"],
+        "counts": {
+            "ok": 1 if status == "ok" else 0,
+            "violated": 0 if status == "ok" else 1,
+            "skipped": 0,
+        },
+        "ok": status == "ok",
+        "objectives": [
+            {
+                "experiment": "fig5",
+                "id": "client.demo.objective",
+                "status": status,
+                "margin": margin,
+            }
+        ],
+    }
+    return manifest
+
+
+class TestSloInHistoryAndCompare:
+    def test_history_record_carries_slo_summary(self):
+        record = build_history_record(with_slo(make_manifest()))
+        assert record["slo"]["counts"]["ok"] == 1
+        assert record["slo"]["objectives"]["fig5:client.demo.objective"] == {
+            "status": "ok",
+            "margin": 0.25,
+        }
+
+    def test_manifest_without_slo_yields_empty_summary(self):
+        assert build_history_record(make_manifest())["slo"] == {}
+
+    def test_compare_reports_slo_flip_as_advisory(self):
+        base = build_history_record(with_slo(make_manifest()))
+        new = build_history_record(
+            with_slo(make_manifest(), status="violated", margin=-0.1)
+        )
+        report = compare_runs(base, new)
+        assert report["slo_flips"] == ["fig5:client.demo.objective"]
+        row = report["slo_deltas"][0]
+        assert row["base_status"] == "ok" and row["new_status"] == "violated"
+        assert row["delta_margin"] == pytest.approx(-0.35)
+        # Advisory: an SLO flip alone never regresses the compare verdict —
+        # `repro slo --strict` is the SLO gate.
+        assert report["regressed"] is False
+        text = render_compare(report)
+        assert "SLO flip" in text and "gate with 'repro slo'" in text
+
+    def test_margin_drift_without_flip_reported(self):
+        base = build_history_record(with_slo(make_manifest(), margin=0.25))
+        new = build_history_record(with_slo(make_manifest(), margin=0.20))
+        report = compare_runs(base, new)
+        assert report["slo_flips"] == []
+        assert report["slo_deltas"][0]["delta_margin"] == pytest.approx(-0.05)
+
+    def test_identical_slo_sections_diff_silent(self):
+        base = build_history_record(with_slo(make_manifest()))
+        report = compare_runs(base, copy.deepcopy(base))
+        assert report["slo_deltas"] == [] and report["slo_flips"] == []

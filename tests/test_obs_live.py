@@ -183,6 +183,118 @@ class TestReplayAndBoard:
         assert "dropped(spans=2, live=3)" in board
 
 
+class TestTailTruncation:
+    def test_shrunken_file_restarts_from_zero(self, tmp_path):
+        """A new run truncating the stream mid-watch must not strand the
+        tailer past EOF: the offset resets and the new stream is read."""
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n')
+        records, offset = tail_jsonl(path, 0)
+        assert len(records) == 2
+        path.write_text('{"c": 3}\n')  # truncate + restart (shorter file)
+        records, offset = tail_jsonl(path, offset)
+        assert records == [{"c": 3}]
+        assert offset == len('{"c": 3}\n')
+        assert tail_jsonl(path, offset) == ([], offset)
+
+    def test_same_length_rewrite_not_detected_but_consistent(self, tmp_path):
+        """Equal-length rewrites are indistinguishable from no-ops by size;
+        the tailer just keeps its offset (documented best-effort)."""
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"a": 1}\n')
+        _, offset = tail_jsonl(path, 0)
+        assert tail_jsonl(path, offset) == ([], offset)
+
+
+class TestReplaySeqGuard:
+    def test_duplicate_seqs_fold_once(self):
+        events = recorded_stream()
+        replayed_twice = replay(events + events)
+        once = replay(events)
+        assert replayed_twice.parts == once.parts
+        assert replayed_twice.counts() == once.counts()
+        assert replayed_twice.duplicates == len(events)
+        assert replayed_twice.events == once.events
+
+    def test_out_of_order_part_state_cannot_regress(self):
+        events = recorded_stream()
+        state = replay(events)
+        assert state.parts[("fig5", "t=1")]["state"] == "done"
+        # A stale 'running' record (lower seq than the applied 'done')
+        # arriving late must not resurrect the part.
+        stale = {"schema": 1, "seq": 5.5, "t_s": 0.1, "type": "part.state",
+                 "experiment": "fig5", "part": "t=1", "state": "running"}
+        stale["seq"] = 5  # duplicate of the already-folded running event
+        state = replay([stale], state)
+        assert state.parts[("fig5", "t=1")]["state"] == "done"
+        assert state.duplicates == 1
+
+    def test_unseen_lower_seq_is_stale_for_that_part(self):
+        # Deliver done (seq 9) before running (seq 5): the late, lower-seq
+        # running record is dropped by the per-part guard.
+        done = {"seq": 9, "type": "part.state", "experiment": "x",
+                "part": "p", "state": "done", "wall_s": 1.0}
+        late = {"seq": 5, "type": "part.state", "experiment": "x",
+                "part": "p", "state": "running"}
+        state = replay([done, late])
+        assert state.parts[("x", "p")]["state"] == "done"
+        assert state.duplicates == 1
+
+    def test_records_without_seq_fold_unconditionally(self):
+        a = {"type": "part.state", "experiment": "x", "part": "p",
+             "state": "running"}
+        b = {"type": "part.state", "experiment": "x", "part": "p",
+             "state": "done"}
+        state = replay([a, b, a])  # hand-written stream, no seq numbers
+        assert state.parts[("x", "p")]["state"] == "running"
+        assert state.duplicates == 0
+
+
+class TestSloFoldAndSnapshot:
+    def slo_event(self, seq=20, ok=3, violated=1):
+        return {"schema": 1, "seq": seq, "t_s": 1.0, "type": "experiment.slo",
+                "experiment": "fig5", "ok": ok, "violated": violated,
+                "skipped": 0, "objectives": [
+                    {"id": "client.demo.obj", "status": "ok", "margin": 0.5}]}
+
+    def test_experiment_slo_events_fold_into_state(self):
+        state = replay(recorded_stream() + [self.slo_event()])
+        assert state.slo["fig5"]["violated"] == 1
+        # A later re-evaluation replaces the record.
+        state = replay([self.slo_event(seq=21, violated=0)], state)
+        assert state.slo["fig5"]["violated"] == 0
+
+    def test_board_shows_slo_column_and_footer(self):
+        state = replay(recorded_stream() + [self.slo_event(violated=0)])
+        board = render_board(state)
+        assert "slo:ok" in board          # per-part column
+        assert "slo: fig5=ok" in board    # summary footer
+        state = replay([self.slo_event(seq=21, violated=2)], state)
+        board = render_board(state)
+        assert "slo:VIOL(2)" in board and "fig5=VIOL(2)" in board
+
+    def test_done_line_carries_slo_violated(self):
+        state = replay(recorded_stream() + [
+            {"seq": 30, "type": "run.done", "ok": 1, "failed": 1,
+             "cache_hits": 0, "wall_s": 1.0, "slo_violated": 2}])
+        assert "slo_violated=2" in render_board(state)
+
+    def test_snapshot_is_json_safe_and_structured(self):
+        from repro.obs.live import snapshot
+
+        state = replay(recorded_stream() + [self.slo_event()])
+        snap = snapshot(state, spans_seen=12, metrics_seen=30)
+        json.dumps(snap)  # must be JSON-serialisable as-is
+        assert snap["schema"] == LIVE_SCHEMA_VERSION
+        assert snap["finished"] is False and snap["done"] is None
+        assert snap["counts"]["done"] == 1 and snap["counts"]["failed"] == 1
+        assert snap["slo"]["fig5"]["violated"] == 1
+        assert {p["part"] for p in snap["parts"]} == {"t=1", "t=5", "all"}
+        assert snap["spans_seen"] == 12 and snap["metrics_seen"] == 30
+        done = replay([{"seq": 31, "type": "run.done", "ok": 2}], state)
+        assert snapshot(done)["finished"] is True
+
+
 class TestExpectedWalls:
     def test_latest_executed_wall_wins_cache_hits_skipped(self, tmp_path):
         path = tmp_path / "perf_history.jsonl"

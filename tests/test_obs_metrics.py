@@ -96,6 +96,33 @@ class TestHistogram:
         assert h.quantile(1.0) == 100
         assert abs(h.quantile(0.5) - 50) <= 2
 
+    def test_empty_histogram_quantiles_are_zero(self, registry):
+        h = registry.histogram("e", buckets=(1,))  # lint: ignore[PW006] test-local name
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+        assert h.percentile(99.0) == 0.0
+        assert h.mean == 0.0
+        record = h.to_record()
+        assert record["min"] == 0.0 and record["max"] == 0.0
+
+    def test_single_sample_quantiles_return_it(self, registry):
+        h = registry.histogram("s", buckets=(1,))  # lint: ignore[PW006] test-local name
+        h.observe(7.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 7.25
+        assert h.percentile(50.0) == 7.25
+
+    def test_out_of_range_quantile_raises(self, registry):
+        h = registry.histogram("b", buckets=(1,))  # lint: ignore[PW006] test-local name
+        h.observe(1.0)
+        for bad in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ObservabilityError):
+                h.quantile(bad)
+        for bad in (-1.0, 100.5, float("nan")):
+            with pytest.raises(ObservabilityError):
+                h.percentile(bad)
+
     def test_reservoir_stays_bounded_and_deterministic(self, registry):
         h1 = registry.histogram("r1", buckets=(10,))  # lint: ignore[PW006] test-local name
         h2 = registry.histogram("r2", buckets=(10,))  # lint: ignore[PW006] test-local name
@@ -119,6 +146,21 @@ class TestTimeseries:
         ts.sample(1.0, 0.0)
         with pytest.raises(ObservabilityError):
             ts.sample(0.5, 0.0)
+
+    def test_rate_degenerate_cases_are_zero(self, registry):
+        ts = registry.timeseries("r0")  # lint: ignore[PW006] test-local name
+        assert ts.rate() == 0.0  # empty
+        ts.sample(3.0, 42.0)
+        assert ts.rate() == 0.0  # single sample
+        ts.sample(3.0, 99.0)  # repeated timestamp: zero-span window
+        assert ts.rate() == 0.0
+
+    def test_rate_measures_first_to_last(self, registry):
+        ts = registry.timeseries("r1")  # lint: ignore[PW006] test-local name
+        ts.sample(0.0, 10.0)
+        ts.sample(1.0, 0.0)
+        ts.sample(5.0, 30.0)
+        assert ts.rate() == pytest.approx(4.0)
 
 
 class TestRegistryExport:
