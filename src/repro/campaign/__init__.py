@@ -1,0 +1,57 @@
+"""Crash-safe campaign manager: journaled parameter sweeps over the registry.
+
+A *campaign* is a declarative JSON grid — registry experiments x sweep axes
+x seed replicates — expanded deterministically into content-addressed
+points (:mod:`repro.campaign.spec`), executed through the hardened runner
+machinery with lease-based dispatch, heartbeats, seeded retry backoff and
+poisoned-point quarantine (:mod:`repro.campaign.manager`), with every state
+transition appended to a crash-tolerant journal whose recovery fold
+survives ``kill -9`` mid-write (:mod:`repro.campaign.journal`). The
+flattened query surface over finished campaigns lives in
+:mod:`repro.campaign.results`; the CLI verbs are ``repro campaign
+run|status|results``. See ``docs/campaigns.md``.
+"""
+
+from repro.campaign.journal import (
+    JOURNAL_FILENAME,
+    JOURNAL_SCHEMA_VERSION,
+    CampaignJournal,
+    JournalState,
+    fold_journal,
+    quarantine_journal,
+)
+from repro.campaign.manager import CampaignResult, PointOutcome, run_campaign
+from repro.campaign.results import point_rows, render_rows, rows_to_csv
+from repro.campaign.spec import (
+    CAMPAIGN_SCHEMA_VERSION,
+    DEFAULT_SPEC_DIR,
+    CampaignPoint,
+    CampaignSpec,
+    SweepEntry,
+    load_campaign_spec,
+    parse_campaign_spec,
+    validate_campaign_data,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "DEFAULT_SPEC_DIR",
+    "JOURNAL_FILENAME",
+    "JOURNAL_SCHEMA_VERSION",
+    "CampaignJournal",
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "JournalState",
+    "PointOutcome",
+    "SweepEntry",
+    "fold_journal",
+    "load_campaign_spec",
+    "parse_campaign_spec",
+    "point_rows",
+    "quarantine_journal",
+    "render_rows",
+    "rows_to_csv",
+    "run_campaign",
+    "validate_campaign_data",
+]

@@ -1,0 +1,901 @@
+"""The campaign manager: run a journaled grid to completion, survivably.
+
+:func:`run_campaign` is ``run_all``'s hardening promoted to campaign scope:
+
+1. **Expand** the spec into content-addressed points and **fold** the
+   journal — points already done (or quarantined) in a previous generation
+   are honoured, not re-dispatched.
+2. **Probe** the result cache: any point whose key is stored replays
+   without execution (``run_missing`` semantics — after a ``kill -9`` the
+   only re-executed work is what never finished an append).
+3. **Dispatch** the rest through a worker pool under *leases*: every
+   attempt journals ``point.lease`` before it runs, the manager journals
+   ``point.heartbeat`` for in-flight leases on a fixed cadence, and a
+   watchdog reclaims leases that outlive ``task_timeout_s`` (or that the
+   ``campaign.lease.expire`` fault expired at grant time).
+4. **Retry** failures with deterministic :mod:`repro.runner.backoff`
+   delays; a point that exhausts its attempts is **quarantined** — the
+   campaign completes and reports it instead of wedging.
+5. **Write the manifest**: a pure function of (spec, seeds, results) —
+   no wall clocks, attempt counts or cache-hit flags — so an interrupted
+   + resumed campaign's manifest is byte-identical to an uninterrupted
+   equal-seed run's. Execution telemetry lives in the journal and the
+   metrics registry, where it belongs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from repro.campaign.journal import (
+    JOURNAL_FILENAME,
+    CampaignJournal,
+    JournalState,
+    load_journal,
+    quarantine_journal,
+)
+from repro.campaign.spec import CampaignPoint, CampaignSpec
+from repro.faults.plan import FaultDirective, FaultPlan, WORKER_FAULT_POINTS
+from repro.obs import runtime as obs_runtime
+from repro.obs import slo as slo_mod
+from repro.runner.backoff import backoff_s
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, code_fingerprint
+from repro.runner.core import ProgressFn, _InterruptGuard, _POLL_INTERVAL_S
+from repro.runner.tasks import SpanContext, TaskOutcome, TaskSpec, execute_task
+
+#: Bump on any breaking change to the campaign manifest layout.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Default campaign manifest filename.
+MANIFEST_FILENAME = "campaign_manifest.json"
+
+#: Default seconds between heartbeat appends for in-flight leases.
+DEFAULT_HEARTBEAT_S = 2.0
+
+
+@dataclass
+class PointOutcome:
+    """What one campaign point came to, and how."""
+
+    point: CampaignPoint
+    #: ``ok`` or ``quarantined``.
+    status: str = "ok"
+    #: Served from the result cache without executing this generation.
+    cached: bool = False
+    #: Finished (done/quarantined) by a *previous* generation's journal.
+    replayed: bool = False
+    result_sha256: str = ""
+    wall_s: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+    domain: Dict[str, Any] = field(default_factory=dict)
+    slo_rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class CampaignResult:
+    """Everything one ``campaign run`` invocation produced."""
+
+    spec: CampaignSpec
+    seed: int
+    code_fingerprint: str
+    outcomes: List[PointOutcome]
+    journal_path: str
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    wall_s: float = 0.0
+    interrupted: bool = False
+    generations: int = 1
+    #: Journal records the recovery fold dropped (duplicates/stale).
+    journal_dropped: int = 0
+    #: Where a corrupt prior journal was moved, if recovery quarantined one.
+    journal_quarantined: Optional[str] = None
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return sum(
+            1 for o in self.outcomes if not o.cached and not o.replayed
+        )
+
+    @property
+    def quarantined(self) -> List[PointOutcome]:
+        return [o for o in self.outcomes if o.status == "quarantined"]
+
+    @property
+    def ok(self) -> bool:
+        """Campaign completed (quarantined points degrade, not fail)."""
+        return not self.interrupted
+
+
+@dataclass
+class _PointState:
+    """Mutable dispatch bookkeeping for one point."""
+
+    point: CampaignPoint
+    #: Directives that ride into the worker (worker.* one-shot + poison).
+    worker_faults: Tuple[FaultDirective, ...] = ()
+    #: Poison re-arms on every retry instead of stripping.
+    poisoned: bool = False
+    #: One-shot: the first granted lease is born expired.
+    expire_lease: bool = False
+    #: One-shot: tear the journal append of the first lease.
+    corrupt_journal: bool = False
+    attempts: int = 0
+    ready_at: float = 0.0
+    lease: Optional[str] = None
+    failure: Optional[str] = None
+
+
+def _point_faults(
+    state: _PointState,
+) -> Tuple[FaultDirective, ...]:
+    """The directives this attempt carries into ``execute_task``."""
+    faults = state.worker_faults
+    if state.poisoned:
+        faults = faults + (FaultDirective(point="campaign.point.poison"),)
+    return faults
+
+
+def build_manifest(
+    spec: CampaignSpec,
+    fingerprint: str,
+    outcomes: List[PointOutcome],
+) -> Dict[str, Any]:
+    """The campaign manifest: a pure function of spec + results.
+
+    Deliberately free of wall clocks, timestamps, attempt counts and
+    cache-hit flags — anything that differs between an uninterrupted run
+    and a killed-and-resumed one. That is the byte-identity invariant the
+    chaos-campaign CI job pins.
+    """
+    points = []
+    for outcome in outcomes:
+        point = outcome.point
+        points.append(
+            {
+                "point": point.point_id,
+                "experiment": point.experiment,
+                "part": point.part,
+                "axes": point.axes,
+                "seed": point.seed,
+                "key": point.key,
+                "status": outcome.status,
+                "result_sha256": outcome.result_sha256,
+                "error": outcome.error,
+                "domain": outcome.domain,
+                "slo": outcome.slo_rows,
+            }
+        )
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "campaign": spec.name,
+        "spec_digest": spec.digest(),
+        "code_fingerprint": fingerprint,
+        "seeds": list(spec.seeds),
+        "points": points,
+        "totals": {
+            "points": len(points),
+            "ok": sum(1 for p in points if p["status"] == "ok"),
+            "quarantined": sum(
+                1 for p in points if p["status"] == "quarantined"
+            ),
+        },
+    }
+
+
+def write_manifest(path: Union[str, Path], manifest: Dict[str, Any]) -> Path:
+    """Atomically write the campaign manifest (sorted keys, stable bytes)."""
+    from repro.obs.ioutil import write_atomic
+
+    payload = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    return write_atomic(path, payload)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: Optional[int] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    retries: int = 1,
+    task_timeout_s: Optional[float] = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    fault_plan: Optional[FaultPlan] = None,
+    live_sink: Optional[Any] = None,
+    journal_path: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Run (or resume) one campaign to completion.
+
+    ``resume=True`` (the default, and what ``--resume`` spells) folds an
+    existing journal first: points it proves done or quarantined are
+    honoured, everything else re-dispatches, and cache hits make the
+    re-dispatch free. ``resume=False`` moves any existing journal aside
+    (quarantine convention) and starts generation 1 fresh — the cache is
+    still consulted unless ``use_cache=False``.
+
+    The campaign *completes* even when points fail every attempt: those
+    are quarantined and reported, never fatal. Only an operator signal
+    (SIGINT/SIGTERM — and trivially SIGKILL) leaves the campaign
+    unfinished, and a later ``--resume`` picks up where the journal stops.
+    """
+    started = time.perf_counter()
+    emit = progress or (lambda line: None)
+    registry = obs_runtime.get_registry()
+    spans = obs_runtime.get_spans()
+    retries = max(0, int(retries))
+    max_attempts = retries + 1
+
+    fingerprint = code_fingerprint()
+    points = spec.expand(fingerprint)
+    journal_path = Path(journal_path) if journal_path else Path(JOURNAL_FILENAME)
+
+    prior = JournalState(path=str(journal_path))
+    journal_quarantined: Optional[str] = None
+    if resume:
+        prior = load_journal(journal_path)
+        journal_quarantined = prior.quarantined_path
+        if journal_quarantined:
+            emit(
+                f"[journal] corrupt journal quarantined to "
+                f"{journal_quarantined}; recovering from cache"
+            )
+        elif prior.records:
+            emit(
+                f"[journal] resuming generation {prior.generations + 1}: "
+                f"{len(prior.done)} done, {len(prior.quarantined)} "
+                f"quarantined, {prior.dropped} dropped record(s)"
+                + (", torn tail tolerated" if prior.torn_tail else "")
+            )
+    elif journal_path.exists():
+        moved = quarantine_journal(journal_path)
+        if moved is not None:
+            emit(f"[journal] previous journal moved to {moved} (--fresh)")
+
+    campaign_span = spans.begin(
+        "campaign.run", campaign=spec.name, points=len(points), seed=seed
+    )
+    journal = CampaignJournal(journal_path, start_seq=prior.last_seq)
+    cache = ResultCache(cache_dir) if use_cache else None
+
+    # Bind fault directives to point labels (seed-qualified, so a count=1
+    # spec poisons exactly one replicate). Campaign-infra points configure
+    # the manager; worker points ride into execute_task as usual.
+    fault_events: List[Dict[str, Any]] = []
+    assignment: Dict[str, Tuple[FaultDirective, ...]] = {}
+    if fault_plan is not None:
+        assignment = fault_plan.assign([p.label for p in points])
+        for label in sorted(assignment):
+            for directive in assignment[label]:
+                fault_events.append(
+                    {
+                        "point": directive.point,
+                        "task": label,
+                        "param": directive.param,
+                    }
+                )
+
+    journal.append(
+        "campaign.open",
+        campaign=spec.name,
+        spec_digest=spec.digest(),
+        code_fingerprint=fingerprint,
+        points=len(points),
+        seed=seed,
+        generation=prior.generations + 1,
+        resume=bool(prior.records),
+    )
+
+    # Default SLO specs, evaluated per point at merge time (pure).
+    slo_specs_by_experiment: Dict[str, List[Any]] = {}
+    try:
+        experiment_ids = sorted({p.experiment for p in points})
+        for slo_spec in slo_mod.load_default_specs(experiment_ids):
+            slo_specs_by_experiment.setdefault(
+                slo_spec.experiment, []
+            ).append(slo_spec)
+    except Exception as exc:
+        emit(f"[slo] skipping default specs: {exc}")
+
+    outcomes: Dict[str, PointOutcome] = {}  # key -> outcome
+    pending: List[_PointState] = []
+
+    def _finish(
+        state_or_point: Any,
+        result: Any,
+        *,
+        cached: bool,
+        replayed: bool,
+        wall_s: float,
+        attempts: int,
+    ) -> PointOutcome:
+        point = (
+            state_or_point.point
+            if isinstance(state_or_point, _PointState)
+            else state_or_point
+        )
+        sha = hashlib.sha256(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).hexdigest()
+        domain = slo_mod.domain_metrics(point.experiment, result)
+        slo_rows = slo_mod.evaluate_specs(
+            slo_specs_by_experiment.get(point.experiment, []),
+            {point.experiment: domain},
+        )
+        outcome = PointOutcome(
+            point=point,
+            status="ok",
+            cached=cached,
+            replayed=replayed,
+            result_sha256=sha,
+            wall_s=wall_s,
+            attempts=attempts,
+            domain=domain,
+            slo_rows=slo_rows,
+        )
+        outcomes[point.key] = outcome
+        return outcome
+
+    def _quarantine_point(point: CampaignPoint, attempts: int, error: str,
+                          replayed: bool = False) -> PointOutcome:
+        outcome = PointOutcome(
+            point=point,
+            status="quarantined",
+            replayed=replayed,
+            attempts=attempts,
+            error=error,
+        )
+        outcomes[point.key] = outcome
+        if not replayed:
+            journal.append(
+                "point.quarantined",
+                point=point.point_id,
+                key=point.key,
+                attempts=attempts,
+                error=error,
+            )
+            registry.counter("campaign.points.quarantined").inc()
+            emit(
+                f"[quarantine] {point.label} after {attempts} attempt(s): "
+                f"{error}"
+            )
+        if live_sink is not None:
+            live_sink.part_state(
+                point.experiment,
+                point.part_label,
+                "quarantined",
+                error=error,
+            )
+        return outcome
+
+    # ---------------------------------------------------------------- probe
+    for point in points:
+        directives = assignment.get(point.label, ())
+        worker_faults = tuple(
+            d for d in directives if d.point in WORKER_FAULT_POINTS
+        )
+        poisoned = any(d.point == "campaign.point.poison" for d in directives)
+        if cache is not None and any(
+            d.point == "cache.corrupt" for d in directives
+        ):
+            fired = cache.corrupt_entry(point.key)
+            fault_events.append(
+                {"point": "cache.corrupt", "task": point.label, "fired": fired}
+            )
+        if point.key in prior.quarantined:
+            record = prior.quarantined[point.key]
+            _quarantine_point(
+                point,
+                attempts=int(record.get("attempts", 0) or 0),
+                error=str(record.get("error", "quarantined")),
+                replayed=True,
+            )
+            continue
+        expire_lease = any(
+            d.point == "campaign.lease.expire" for d in directives
+        )
+        corrupt_journal = any(
+            d.point == "campaign.journal.corrupt" for d in directives
+        )
+        # Any injected fault bypasses the cache: lease-scoped faults only
+        # fire on a granted lease, and a hit would grant none.
+        must_execute = (
+            bool(worker_faults) or poisoned or expire_lease or corrupt_journal
+        )
+        if cache is not None and not must_execute:
+            hit, value = cache.get(point.key)
+            if hit:
+                replayed = point.key in prior.done
+                _finish(
+                    point,
+                    value,
+                    cached=True,
+                    replayed=replayed,
+                    wall_s=0.0,
+                    attempts=0,
+                )
+                if not replayed:
+                    # A replayed point already has its terminal record; a
+                    # second one would only fold as a stale duplicate.
+                    journal.append(
+                        "point.done",
+                        point=point.point_id,
+                        key=point.key,
+                        cached=True,
+                        wall_s=0.0,
+                        attempt=0,
+                    )
+                registry.counter("campaign.points.cached").inc()
+                continue
+        pending.append(
+            _PointState(
+                point=point,
+                worker_faults=worker_faults,
+                poisoned=poisoned,
+                expire_lease=expire_lease,
+                corrupt_journal=corrupt_journal,
+            )
+        )
+
+    total_tasks = len(pending)
+    effective_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    effective_jobs = max(1, min(effective_jobs, max(total_tasks, 1)))
+
+    if live_sink is not None:
+        live_sink.emit(
+            "run.start",
+            ids=sorted({p.experiment for p in points}),
+            campaign=spec.name,
+            experiments=len({p.experiment for p in points}),
+            tasks=total_tasks,
+            jobs=effective_jobs,
+            seed=seed,
+            retries=retries,
+        )
+        for point in points:
+            outcome = outcomes.get(point.key)
+            if outcome is not None and outcome.status == "ok":
+                live_sink.part_state(point.experiment, point.part_label, "cached")
+        for state in pending:
+            live_sink.part_state(
+                state.point.experiment, state.point.part_label, "queued"
+            )
+        for event in fault_events:
+            live_sink.emit("fault", **event)
+
+    lease_counter = 0
+    completed = 0
+
+    def _grant_lease(state: _PointState) -> None:
+        """Charge one attempt and journal its lease."""
+        nonlocal lease_counter
+        lease_counter += 1
+        state.attempts += 1
+        state.lease = f"g{prior.generations + 1}-l{lease_counter}"
+        if state.corrupt_journal:
+            # One-shot: tear this lease's append exactly like a kill -9.
+            from repro.faults import runtime as faults_runtime
+
+            faults_runtime.arm("campaign.journal.corrupt")
+            state.corrupt_journal = False
+        journal.append(
+            "point.lease",
+            point=state.point.point_id,
+            key=state.point.key,
+            lease=state.lease,
+            attempt=state.attempts,
+        )
+        registry.counter("campaign.leases.granted").inc()
+
+    def _fail_or_retry(state: _PointState, kind: str, message: str,
+                       queue: Deque[_PointState]) -> None:
+        """Seeded-backoff retry while attempts remain, else quarantine."""
+        if state.attempts < max_attempts:
+            delay_s = backoff_s(seed, state.point.label, state.attempts)
+            state.ready_at = time.perf_counter() + delay_s
+            # Worker faults are one-shot; poison re-arms by staying set.
+            state.worker_faults = ()
+            journal.append(
+                "point.retry",
+                point=state.point.point_id,
+                key=state.point.key,
+                attempt=state.attempts,
+                kind=kind,
+                error=message,
+                backoff_s=round(delay_s, 4),
+            )
+            registry.counter("campaign.points.retried").inc()
+            registry.histogram("runner.retry.backoff_s").observe(delay_s)
+            if live_sink is not None:
+                live_sink.part_state(
+                    state.point.experiment,
+                    state.point.part_label,
+                    "retrying",
+                    attempt=state.attempts,
+                    kind=kind,
+                    backoff_s=round(delay_s, 4),
+                )
+            emit(
+                f"[retry] {state.point.label} attempt "
+                f"{state.attempts}/{max_attempts} failed ({kind}: {message});"
+                f" requeueing in {delay_s:.3f}s"
+            )
+            queue.append(state)
+            return
+        _quarantine_point(state.point, state.attempts, f"{kind}: {message}")
+
+    def _record(state: _PointState, outcome_obj: TaskOutcome) -> None:
+        nonlocal completed
+        completed += 1
+        if cache is not None:
+            cache.put(
+                state.point.key,
+                outcome_obj.result,
+                meta={
+                    "experiment": state.point.experiment,
+                    "part": state.point.part,
+                    "target": state.point.target,
+                    "seed": state.point.seed,
+                    "campaign": spec.name,
+                    "duration_s": round(outcome_obj.wall_s, 6),
+                },
+            )
+        _finish(
+            state,
+            outcome_obj.result,
+            cached=False,
+            replayed=False,
+            wall_s=outcome_obj.wall_s,
+            attempts=state.attempts,
+        )
+        journal.append(
+            "point.done",
+            point=state.point.point_id,
+            key=state.point.key,
+            cached=False,
+            wall_s=round(outcome_obj.wall_s, 4),
+            attempt=state.attempts,
+        )
+        registry.counter("campaign.points.executed").inc()
+        registry.histogram(
+            "campaign.point.wall_s", experiment=state.point.experiment
+        ).observe(outcome_obj.wall_s)
+        if live_sink is not None:
+            live_sink.part_state(
+                state.point.experiment,
+                state.point.part_label,
+                "done",
+                wall_s=round(outcome_obj.wall_s, 3),
+                attempt=state.attempts,
+            )
+        emit(
+            f"[point {completed}/{total_tasks}] {state.point.label} "
+            f"{outcome_obj.wall_s:.2f}s"
+            + (f" (attempt {state.attempts})" if state.attempts > 1 else "")
+        )
+
+    def _task_spec(state: _PointState, obs_ctx: Optional[SpanContext]) -> TaskSpec:
+        return TaskSpec(
+            experiment_id=state.point.experiment,
+            part=state.point.part,
+            target=state.point.target,
+            kwargs=dict(state.point.kwargs),
+            seed=state.point.seed,
+            obs=obs_ctx,
+            faults=_point_faults(state),
+            attempt=state.attempts,
+        )
+
+    queue: Deque[_PointState] = deque(pending)
+    interrupted = False
+    last_heartbeat = time.perf_counter()
+
+    def _heartbeat(in_flight_states: List[_PointState]) -> None:
+        """Journal liveness for every in-flight lease, on a fixed cadence."""
+        nonlocal last_heartbeat
+        now = time.perf_counter()
+        if now - last_heartbeat < heartbeat_s:
+            return
+        last_heartbeat = now
+        for state in in_flight_states:
+            if state.lease is None:
+                continue
+            journal.append(
+                "point.heartbeat",
+                point=state.point.point_id,
+                key=state.point.key,
+                lease=state.lease,
+                attempt=state.attempts,
+            )
+
+    with _InterruptGuard() as guard:
+        if effective_jobs == 1:
+            while queue and not guard.triggered:
+                state = queue.popleft()
+                wait_s = state.ready_at - time.perf_counter()
+                if wait_s > 0:
+                    time.sleep(wait_s)
+                _grant_lease(state)
+                if state.expire_lease:
+                    # In-process there is nothing to reclaim mid-task; the
+                    # fault degrades to an immediate expiry-and-retry.
+                    state.expire_lease = False
+                    _fail_or_retry(
+                        state, "lease_expired", "injected lease expiry", queue
+                    )
+                    registry.counter("campaign.leases.expired").inc()
+                    continue
+                if live_sink is not None:
+                    live_sink.part_state(
+                        state.point.experiment,
+                        state.point.part_label,
+                        "running",
+                        attempt=state.attempts,
+                    )
+                try:
+                    outcome_obj = execute_task(_task_spec(state, None))
+                except Exception as exc:
+                    _fail_or_retry(
+                        state, "error", f"{type(exc).__name__}: {exc}", queue
+                    )
+                    continue
+                _record(state, outcome_obj)
+        elif queue:
+            pool = ProcessPoolExecutor(max_workers=effective_jobs)
+            in_flight: Dict[Any, _PointState] = {}
+            deadlines: Dict[Any, float] = {}
+            task_index = 0
+
+            def _rebuild_pool(requeued: int) -> None:
+                nonlocal pool
+                registry.counter("campaign.pool.rebuilds").inc()
+                emit(
+                    f"[pool] rebuilding worker pool "
+                    f"({requeued} point(s) requeued)"
+                )
+                stale = list((getattr(pool, "_processes", None) or {}).values())
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+                for proc in stale:
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass
+                pool = ProcessPoolExecutor(max_workers=effective_jobs)
+
+            def _submit(state: _PointState) -> None:
+                nonlocal task_index
+                task_index += 1
+                _grant_lease(state)
+                ctx = SpanContext(
+                    root_id=campaign_span.span_id if spans.enabled else None,
+                    prefix=f"c{task_index:03d}.",
+                    obs_enabled=obs_runtime.enabled(),
+                    span_detail=spans.detail,
+                )
+                task = _task_spec(state, ctx)
+                try:
+                    future = pool.submit(execute_task, task)
+                except BrokenProcessPool:
+                    _rebuild_pool(requeued=0)
+                    future = pool.submit(execute_task, task)
+                in_flight[future] = state
+                if state.expire_lease:
+                    # Born expired: the watchdog pass reclaims it at once.
+                    deadlines[future] = float("-inf")
+                    state.expire_lease = False
+                    registry.counter("campaign.leases.expired").inc()
+                else:
+                    deadlines[future] = time.perf_counter()
+                if live_sink is not None:
+                    live_sink.part_state(
+                        state.point.experiment,
+                        state.point.part_label,
+                        "submitted",
+                        attempt=state.attempts,
+                    )
+
+            def _pop_ready() -> Optional[_PointState]:
+                now = time.perf_counter()
+                for index, state in enumerate(queue):
+                    if state.ready_at <= now:
+                        del queue[index]
+                        return state
+                return None
+
+            try:
+                while (queue or in_flight) and not guard.triggered:
+                    while (
+                        queue
+                        and len(in_flight) < effective_jobs
+                        and not guard.triggered
+                    ):
+                        state = _pop_ready()
+                        if state is None:
+                            break
+                        _submit(state)
+                    if not in_flight:
+                        time.sleep(_POLL_INTERVAL_S)
+                        continue
+                    done, _ = wait(
+                        set(in_flight),
+                        timeout=_POLL_INTERVAL_S,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    _heartbeat(list(in_flight.values()))
+                    broken = False
+                    for future in done:
+                        state = in_flight.pop(future)
+                        expired = deadlines.pop(future, 0.0) == float("-inf")
+                        if expired:
+                            # The lease was reclaimed before the result
+                            # landed; the attempt is charged and retried
+                            # even though the worker finished — exactly a
+                            # zombie lease-holder racing its watchdog.
+                            _fail_or_retry(
+                                state,
+                                "lease_expired",
+                                "injected lease expiry",
+                                queue,
+                            )
+                            continue
+                        try:
+                            outcome_obj = future.result()
+                        except BrokenProcessPool as exc:
+                            broken = True
+                            _fail_or_retry(
+                                state,
+                                "pool_broken",
+                                "worker process died mid-point "
+                                f"({type(exc).__name__})",
+                                queue,
+                            )
+                        except Exception as exc:
+                            _fail_or_retry(
+                                state,
+                                "error",
+                                f"{type(exc).__name__}: {exc}",
+                                queue,
+                            )
+                        else:
+                            spans.adopt(outcome_obj.spans)
+                            _record(state, outcome_obj)
+                    overdue: List[Any] = []
+                    now = time.perf_counter()
+                    for future, submitted in deadlines.items():
+                        if submitted == float("-inf"):
+                            overdue.append(future)
+                        elif (
+                            task_timeout_s is not None
+                            and now - submitted > task_timeout_s
+                        ):
+                            overdue.append(future)
+                    if broken or overdue:
+                        for future in overdue:
+                            state = in_flight.pop(future)
+                            was_expired = deadlines.pop(future) == float("-inf")
+                            kind = (
+                                "lease_expired" if was_expired else "timeout"
+                            )
+                            message = (
+                                "injected lease expiry"
+                                if was_expired
+                                else f"lease exceeded {task_timeout_s:.1f}s"
+                            )
+                            emit(
+                                f"[watchdog] {state.point.label} "
+                                f"({kind}); reclaiming lease {state.lease}"
+                            )
+                            _fail_or_retry(state, kind, message, queue)
+                        for future, state in list(in_flight.items()):
+                            if broken:
+                                _fail_or_retry(
+                                    state,
+                                    "pool_broken",
+                                    "worker pool broke while point was "
+                                    "in flight",
+                                    queue,
+                                )
+                            else:
+                                # Innocent victim of the rebuild: uncharged.
+                                state.attempts -= 1
+                                queue.append(state)
+                        requeued = len(in_flight)
+                        in_flight.clear()
+                        deadlines.clear()
+                        _rebuild_pool(requeued)
+            finally:
+                stale = list((getattr(pool, "_processes", None) or {}).values())
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+                if guard.triggered:
+                    for proc in stale:
+                        try:
+                            proc.terminate()
+                        except Exception:
+                            pass
+        interrupted = guard.triggered
+
+    if interrupted:
+        emit("[interrupt] signal received; journal preserved for --resume")
+        for state in pending:
+            if state.point.key not in outcomes:
+                if live_sink is not None:
+                    live_sink.part_state(
+                        state.point.experiment,
+                        state.point.part_label,
+                        "interrupted",
+                    )
+
+    ordered_outcomes = [
+        outcomes[point.key] for point in points if point.key in outcomes
+    ]
+    wall_s = time.perf_counter() - started
+    ok_count = sum(1 for o in ordered_outcomes if o.ok)
+    quarantined_count = sum(
+        1 for o in ordered_outcomes if o.status == "quarantined"
+    )
+    if not interrupted:
+        journal.append(
+            "campaign.done",
+            campaign=spec.name,
+            ok=ok_count,
+            quarantined=quarantined_count,
+            wall_s=round(wall_s, 3),
+        )
+    spans.end(
+        campaign_span,
+        ok=ok_count,
+        quarantined=quarantined_count,
+        interrupted=interrupted,
+    )
+    registry.gauge("campaign.run.wall_s").set(wall_s)
+    registry.gauge("campaign.run.points").set(len(points))
+    if live_sink is not None:
+        live_sink.emit(
+            "run.done",
+            campaign=spec.name,
+            ok=ok_count,
+            failed=quarantined_count,
+            cache_hits=sum(1 for o in ordered_outcomes if o.cached),
+            wall_s=round(wall_s, 3),
+            interrupted=interrupted,
+        )
+
+    manifest: Dict[str, Any] = {}
+    if not interrupted:
+        manifest = build_manifest(spec, fingerprint, ordered_outcomes)
+
+    return CampaignResult(
+        spec=spec,
+        seed=seed,
+        code_fingerprint=fingerprint,
+        outcomes=ordered_outcomes,
+        journal_path=str(journal_path),
+        manifest=manifest,
+        wall_s=wall_s,
+        interrupted=interrupted,
+        generations=prior.generations + 1,
+        journal_dropped=prior.dropped,
+        journal_quarantined=journal_quarantined,
+        fault_events=fault_events,
+    )

@@ -476,6 +476,354 @@ def _cmd_run_all(argv: List[str], no_obs: bool) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_campaign(argv: List[str], no_obs: bool) -> int:
+    """``repro campaign run|status|results``: journaled parameter sweeps.
+
+    Spec schema, journal format and resume/quarantine semantics are
+    documented in ``docs/campaigns.md``.
+    """
+    if not argv or argv[0] not in ("run", "status", "results"):
+        print(
+            "usage: repro campaign {run|status|results} ... "
+            "(see docs/campaigns.md)",
+            file=sys.stderr,
+        )
+        return 2
+    verb, rest = argv[0], argv[1:]
+    if verb == "run":
+        return _cmd_campaign_run(rest, no_obs)
+    if verb == "status":
+        return _cmd_campaign_status(rest)
+    return _cmd_campaign_results(rest)
+
+
+def _cmd_campaign_run(argv: List[str], no_obs: bool) -> int:
+    """``repro campaign run``: execute (or resume) one campaign spec."""
+    from repro.campaign import load_campaign_spec, run_campaign
+    from repro.campaign.manager import MANIFEST_FILENAME, write_manifest as write_campaign_manifest
+    from repro.runner import DEFAULT_CACHE_DIR
+
+    parser = argparse.ArgumentParser(
+        prog="repro campaign run",
+        description="Expand a campaign spec into content-addressed points "
+        "and run them to completion under a crash-safe journal.",
+    )
+    parser.add_argument(
+        "--spec",
+        required=True,
+        metavar="PATH",
+        help="campaign spec JSON (see docs/campaigns.md for the schema)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign master seed (fault selection and retry backoff; "
+        "point seeds come from the spec's 'seeds' list)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per point before quarantine (default: 1)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog limit per point lease; an overdue lease is "
+        "reclaimed and the point retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="cadence of journal heartbeats for in-flight leases "
+        "(default: 2.0)",
+    )
+    parser.add_argument(
+        "--report",
+        default=MANIFEST_FILENAME,
+        metavar="PATH",
+        help=f"campaign manifest output path (default: {MANIFEST_FILENAME})",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal path (default: campaign.jsonl next to --report)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="fold an existing journal and only run missing points "
+        "(the default; spelled out for scripts that mean it)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="move any existing journal aside and start generation 1 "
+        "(the result cache still applies unless --no-cache)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+        "'campaign.point.poison:1,worker.crash:1' (see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for fault target selection (default: --seed)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="stream lifecycle events to run_live.jsonl next to the "
+        "manifest ('python -m repro watch' renders them live)",
+    )
+    args = parser.parse_args(argv)
+    obs_runtime.configure(enabled=not no_obs)
+    if args.resume and args.fresh:
+        print("campaign run: --resume and --fresh conflict", file=sys.stderr)
+        return 2
+
+    try:
+        spec = load_campaign_spec(args.spec)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults import parse_fault_plan
+        from repro.faults import runtime as faults_runtime
+
+        try:
+            fault_plan = parse_fault_plan(
+                args.fault_plan,
+                seed=args.seed if args.fault_seed is None else args.fault_seed,
+            )
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        faults_runtime.reset()
+        print(f"fault plan: {fault_plan.describe()} (seed={fault_plan.seed})")
+
+    report_dir = os.path.dirname(os.path.abspath(args.report))
+    journal_path = args.journal or os.path.join(report_dir, "campaign.jsonl")
+
+    live_sink = None
+    live_path = None
+    if args.live:
+        from repro.obs.live import LIVE_FILENAME, LiveSink
+
+        live_path = os.path.join(report_dir, LIVE_FILENAME)
+        live_sink = LiveSink(live_path)
+        print(f"live: streaming events to {live_path}")
+
+    try:
+        result = run_campaign(
+            spec,
+            jobs=args.jobs,
+            seed=args.seed,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            retries=args.retries,
+            task_timeout_s=args.task_timeout,
+            heartbeat_s=args.heartbeat,
+            fault_plan=fault_plan,
+            live_sink=live_sink,
+            journal_path=journal_path,
+            resume=not args.fresh,
+            progress=print,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if result.interrupted:
+        print(
+            "campaign interrupted; journal preserved — rerun with --resume "
+            f"to continue ({journal_path})",
+            file=sys.stderr,
+        )
+        return 130
+
+    write_campaign_manifest(args.report, result.manifest)
+    totals = result.manifest["totals"]
+    cached = sum(1 for o in result.outcomes if o.cached)
+    print(
+        f"== campaign {spec.name} == {totals['ok']}/{totals['points']} ok, "
+        f"{totals['quarantined']} quarantined, {cached} from cache, "
+        f"wall {result.wall_s:.2f}s (generation {result.generations})"
+    )
+    for outcome in result.quarantined:
+        print(
+            f"quarantined: {outcome.point.label} "
+            f"({outcome.error or 'no further detail'})"
+        )
+    print(f"manifest: {args.report}")
+    print(f"journal: {journal_path}")
+    if live_path is not None:
+        print(f"live: {live_path}")
+    # Quarantined points degrade the campaign, they do not fail it: the
+    # sweep completed and reported them, which is the contract.
+    return 0
+
+
+def _cmd_campaign_status(argv: List[str]) -> int:
+    """``repro campaign status``: fold the journal into a progress report."""
+    from repro.campaign import fold_journal, load_campaign_spec
+
+    parser = argparse.ArgumentParser(
+        prog="repro campaign status",
+        description="Reconstruct campaign progress from its journal "
+        "(read-only; safe while a campaign runs).",
+    )
+    parser.add_argument(
+        "--journal",
+        default="campaign.jsonl",
+        metavar="PATH",
+        help="journal path (default: campaign.jsonl)",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="campaign spec, to also report not-yet-started points",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    state = fold_journal(args.journal)
+    status: dict = {
+        "journal": args.journal,
+        "exists": state.exists,
+        "corrupt": state.corrupt,
+        "torn_tail": state.torn_tail,
+        "generations": state.generations,
+        "records": state.records,
+        "dropped": state.dropped,
+        "last_seq": state.last_seq,
+        "done": len(state.done),
+        "quarantined": len(state.quarantined),
+        "in_flight": len(state.leases),
+        "finished": state.finished is not None,
+    }
+    if state.campaign is not None:
+        status["campaign"] = state.campaign.get("campaign")
+        status["seed"] = state.campaign.get("seed")
+    if args.spec:
+        try:
+            from repro.runner.cache import code_fingerprint
+
+            spec = load_campaign_spec(args.spec)
+            points = spec.expand(code_fingerprint())
+            terminal = state.terminal_keys()
+            status["points"] = len(points)
+            status["pending"] = sum(
+                1 for point in points if point.key not in terminal
+            )
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(status, sort_keys=True))
+        return 0
+    if not state.exists:
+        print(f"campaign status: no journal at {args.journal}")
+        return 1
+    name = status.get("campaign", "?")
+    print(
+        f"== campaign {name} == generation {state.generations}, "
+        f"{len(state.done)} done, {len(state.quarantined)} quarantined, "
+        f"{len(state.leases)} in flight"
+        + (f", {status['pending']}/{status['points']} pending" if "pending" in status else "")
+    )
+    print(
+        f"journal: {state.records} record(s), last seq {state.last_seq}, "
+        f"{state.dropped} dropped"
+        + (", torn tail tolerated" if state.torn_tail else "")
+        + (", CORRUPT (will be quarantined on next run)" if state.corrupt else "")
+    )
+    if state.finished is not None:
+        done = state.finished
+        print(
+            f"finished: ok={done.get('ok', '?')} "
+            f"quarantined={done.get('quarantined', '?')} "
+            f"wall={done.get('wall_s', '?')}s"
+        )
+    return 0
+
+
+def _cmd_campaign_results(argv: List[str]) -> int:
+    """``repro campaign results``: flatten a campaign manifest into rows."""
+    from repro.campaign import point_rows, render_rows, rows_to_csv
+    from repro.campaign.results import load_campaign_manifest
+
+    parser = argparse.ArgumentParser(
+        prog="repro campaign results",
+        description="Flatten a campaign manifest's per-point results "
+        "(axes, domain metrics, SLO verdicts) into row-oriented tables.",
+    )
+    parser.add_argument(
+        "--input",
+        default="campaign_manifest.json",
+        metavar="PATH",
+        help="campaign manifest to read (default: campaign_manifest.json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    parser.add_argument(
+        "--experiment",
+        default=None,
+        metavar="ID",
+        help="only rows for one experiment id",
+    )
+    args = parser.parse_args(argv)
+    try:
+        manifest = load_campaign_manifest(args.input)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = point_rows(manifest, experiment=args.experiment)
+    if args.format == "json":
+        print(json.dumps(rows, sort_keys=True))
+    elif args.format == "csv":
+        sys.stdout.write(rows_to_csv(rows))
+    else:
+        print(render_rows(rows))
+    return 0
+
+
 def _cmd_metrics(argv: List[str], no_obs: bool) -> int:
     """``repro metrics``: run + export metrics, or triage an existing export.
 
@@ -1107,6 +1455,8 @@ def main(argv: List[str] = None) -> int:
         # Dispatched before experiment parsing, like the other subcommands
         # whose names can never collide with an experiment id.
         return _cmd_run_all(argv[1:], no_obs)
+    if argv and argv[0] == "campaign":
+        return _cmd_campaign(argv[1:], no_obs)
     if argv and argv[0] == "metrics":
         return _cmd_metrics(argv[1:], no_obs)
     if argv and argv[0] == "profile":

@@ -50,6 +50,11 @@ def fire_worker_faults(
     for directive in directives:
         if directive.point == "worker.raise":
             raise InjectedFault("worker.raise: injected task failure")
+        if directive.point == "campaign.point.poison":
+            # Unlike one-shot worker faults, the campaign manager re-arms
+            # this directive on every retry: a poisoned point *stays*
+            # poisoned, which is what drives it into quarantine.
+            raise InjectedFault("campaign.point.poison: injected poisoned point")
         if directive.point == "worker.crash":
             if in_process:
                 raise InjectedFault(

@@ -50,6 +50,13 @@ INFRA_FAULT_POINTS: Dict[str, str] = {
     "the probe, exercising the quarantine path (no-op on a cold cache)",
     "manifest.interrupt": "the first run_manifest.json write dies between "
     "temp-file write and atomic rename",
+    "campaign.journal.corrupt": "the campaign journal append for the "
+    "point's first lease is torn mid-line (a simulated kill -9 mid-write), "
+    "exercising the recovery fold and journal quarantine on resume",
+    "campaign.lease.expire": "the point's first lease is granted already "
+    "expired, so the campaign watchdog reclaims it and retries the point",
+    "campaign.point.poison": "every attempt of the point raises — retries "
+    "cannot help, exercising the poisoned-point quarantine path",
 }
 
 #: Simulated-world fault points: applied to a testbed by repro.faults.world.

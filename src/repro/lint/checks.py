@@ -14,6 +14,8 @@ PW004     No mixing of unit-suffixed quantities (``_dbm`` vs ``_mw``, ...)
           comparisons, without an explicit :mod:`repro.units` conversion.
 PW005     No float ``==``/``!=`` on simulation-time values.
 PW006     Obs metric names are dotted-lowercase string literals.
+PW007     Campaign spec files name real registry experiments and real
+          driver keyword arguments (``campaigns/*.json``).
 ========  ==================================================================
 """
 
@@ -619,6 +621,61 @@ def check_slo_spec_file(path: str, source: str) -> List[Finding]:
                     f"SLO objective id {objective_id!r} is not dotted-lowercase "
                     "(layer.component.objective)"
                 ),
+                path=path,
+                line=line_no,
+                severity=Severity.ERROR,
+                line_text=line_text,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------- PW007
+
+
+def check_campaign_spec_file(path: str, source: str) -> List[Finding]:
+    """PW007 over one ``campaigns/*.json`` campaign spec file.
+
+    The structural contract lives in
+    :func:`repro.campaign.spec.validate_campaign_data` — the exact
+    validation ``repro campaign run`` performs at load time: literal
+    experiment ids must exist in the registry, sweep axes must name real
+    driver keyword arguments, seeds must be unique integers. Linting a
+    spec statically means a typo'd id or axis fails CI, not a
+    thousand-point sweep at 2am.
+
+    Line numbers point at the offending fragment (the validator returns a
+    ``(message, needle)`` pair per problem) so editors can jump there.
+    """
+    try:
+        data = json.loads(source)
+    except ValueError as exc:
+        return [
+            Finding(
+                code="PW007",
+                message=f"campaign spec is not valid JSON: {exc}",
+                path=path,
+                line=getattr(exc, "lineno", 1) or 1,
+                severity=Severity.ERROR,
+            )
+        ]
+    # Deferred: repro.campaign pulls in the experiment registry, which the
+    # pure-AST rules must not pay for on every lint run.
+    from repro.campaign.spec import validate_campaign_data
+
+    findings: List[Finding] = []
+    lines = source.splitlines()
+    for message, needle in validate_campaign_data(data):
+        line_no, line_text = 1, ""
+        if needle:
+            for index, text in enumerate(lines, start=1):
+                if needle in text:
+                    line_no, line_text = index, text.strip()
+                    break
+        findings.append(
+            Finding(
+                code="PW007",
+                message=message,
                 path=path,
                 line=line_no,
                 severity=Severity.ERROR,

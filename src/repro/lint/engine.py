@@ -8,6 +8,7 @@ pragmas and the baseline, and is what the CLI calls.
 from __future__ import annotations
 
 import ast
+import json
 from fnmatch import fnmatch
 from pathlib import Path
 from typing import FrozenSet, Iterable, List, Optional
@@ -101,14 +102,18 @@ def iter_python_files(paths: Iterable[Path], config: LintConfig) -> List[Path]:
 
 
 def iter_slo_spec_files(paths: Iterable[Path], config: LintConfig) -> List[Path]:
-    """SLO spec JSONs in ``paths``: explicit ``.json`` args, plus any
-    ``slos/*.json`` beneath directory args (the linted naming contract —
-    see ``repro.lint.checks.check_slo_spec_file``)."""
+    """Spec JSONs in ``paths``: explicit ``.json`` args, plus any
+    ``slos/*.json`` or ``campaigns/*.json`` beneath directory args (the
+    linted naming contracts — see ``repro.lint.checks.check_slo_spec_file``
+    and ``check_campaign_spec_file``; :func:`_is_campaign_spec` routes each
+    file to its rule)."""
     files: List[Path] = []
     for path in paths:
         if path.is_dir():
             files.extend(
-                p for p in path.rglob("*.json") if p.parent.name == "slos"
+                p
+                for p in path.rglob("*.json")
+                if p.parent.name in ("slos", "campaigns")
             )
         elif path.suffix == ".json":
             files.append(path)
@@ -125,6 +130,25 @@ def iter_slo_spec_files(paths: Iterable[Path], config: LintConfig) -> List[Path]
             continue
         kept.append(path)
     return kept
+
+
+def _is_campaign_spec(path: Path, source: str) -> bool:
+    """Route one spec JSON: PW007 (campaign) or PW006 (SLO).
+
+    Directory name wins (``campaigns/`` vs ``slos/`` is the documented
+    layout); an explicit file argument outside either is sniffed by its
+    top-level ``"campaign"`` key so ``repro lint mysweep.json`` still picks
+    the right rule.
+    """
+    if path.parent.name == "campaigns":
+        return True
+    if path.parent.name == "slos":
+        return False
+    try:
+        data = json.loads(source)
+    except ValueError:
+        return False
+    return isinstance(data, dict) and "campaign" in data
 
 
 def lint_paths(
@@ -154,18 +178,21 @@ def lint_paths(
                 codes=frozenset(tree_codes) if tree_codes is not None else None,
             )
         )
-    from repro.lint.checks import check_slo_spec_file
+    from repro.lint.checks import check_campaign_spec_file, check_slo_spec_file
 
     for path in iter_slo_spec_files([Path(p) for p in paths], config):
         display = display_path(path, config)
         tree_codes = config.codes_for_display_path(display)
-        if tree_codes is not None and "PW006" not in tree_codes:
+        source = path.read_text(encoding="utf-8")
+        if _is_campaign_spec(path, source):
+            code, check = "PW007", check_campaign_spec_file
+        else:
+            code, check = "PW006", check_slo_spec_file
+        if tree_codes is not None and code not in tree_codes:
             continue
-        if not config.rule_enabled("PW006"):
+        if not config.rule_enabled(code):
             continue
-        findings.extend(
-            check_slo_spec_file(display, path.read_text(encoding="utf-8"))
-        )
+        findings.extend(check(display, source))
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
     assign_occurrences(findings)
     if use_baseline:

@@ -63,11 +63,14 @@ PART_STATES = (
     "retrying",
     "done",
     "failed",
+    "quarantined",
     "interrupted",
 )
 
 #: States that mean the part will consume no further wall-clock.
-TERMINAL_STATES = frozenset({"cached", "done", "failed", "interrupted"})
+TERMINAL_STATES = frozenset(
+    {"cached", "done", "failed", "quarantined", "interrupted"}
+)
 
 
 class LivePublisher:
@@ -422,6 +425,13 @@ def render_board(
     experiment — ``slo:ok`` / ``slo:VIOL(n)`` — and a summary footer lists
     every evaluated experiment.
     """
+    if not state.events:
+        # Nothing has reached the stream yet (file absent, empty, or
+        # truncated-and-restarting): say so instead of a board of "?"s.
+        return (
+            "== watch == waiting for events (no live records yet; is a run "
+            "with --live active here?)"
+        )
     run = state.run
     header = (
         f"== watch == seed={run.get('seed', '?')} jobs={run.get('jobs', '?')} "
@@ -439,7 +449,7 @@ def render_board(
             detail = f"{record['wall_s']:.2f}s"
         elif part_state in ("retrying", "running") and record.get("attempt"):
             detail = f"attempt {record['attempt']}"
-        elif part_state == "failed" and record.get("error"):
+        elif part_state in ("failed", "quarantined") and record.get("error"):
             detail = str(record["error"])[:60]
         elif part_state == "queued":
             expected = record.get("expected_wall_s")

@@ -1,0 +1,54 @@
+"""Deterministic retry backoff shared by the runner and campaign manager.
+
+A retried attempt used to requeue immediately, which is exactly wrong for
+the two real failure families retries exist for: a transient resource spike
+(immediate retry lands in the same spike) and a thundering herd after a
+pool rebuild (every requeued task re-submits in the same tick). Classic
+jittered exponential backoff fixes both — but ``random.uniform`` jitter
+would make fault runs unreproducible, and this repo's contract is that a
+flaky-looking failure can always be replayed from its seed.
+
+So the jitter is drawn from :class:`repro.sim.rng.RandomStreams`, keyed by
+``(seed, task label, attempt)``: the same attempt of the same task under
+the same seed always waits the same time, on every machine, while distinct
+tasks still spread out. Delays are observable on the
+``runner.retry.backoff_s`` histogram.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RandomStreams, derive_seed
+
+#: First-retry backoff window (seconds); doubles per attempt.
+DEFAULT_BASE_S = 0.05
+
+#: Ceiling on one backoff window (seconds) — retries are bounded anyway,
+#: so the cap only stops a deep retry budget from stalling the tail.
+DEFAULT_CAP_S = 2.0
+
+
+def backoff_s(
+    seed: int,
+    label: str,
+    attempt: int,
+    base_s: float = DEFAULT_BASE_S,
+    cap_s: float = DEFAULT_CAP_S,
+) -> float:
+    """Seconds to wait before retrying ``label``'s ``attempt``-th failure.
+
+    Exponential window (``base_s * 2**(attempt-1)``, capped at ``cap_s``)
+    with deterministic half-jitter: the delay lands in ``[window/2,
+    window)``, drawn from a named RNG stream so equal ``(seed, label,
+    attempt)`` always produce the equal delay.
+
+    >>> backoff_s(0, "fig9:all", 1) == backoff_s(0, "fig9:all", 1)
+    True
+    >>> 0.025 <= backoff_s(0, "fig9:all", 1) < 0.05
+    True
+    """
+    attempt = max(1, int(attempt))
+    window = min(float(cap_s), float(base_s) * (2.0 ** (attempt - 1)))
+    rng = RandomStreams(derive_seed(int(seed), "retry-backoff")).stream(
+        f"{label}#{attempt}"
+    )
+    return window * (0.5 + 0.5 * rng.random())

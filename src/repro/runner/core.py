@@ -63,6 +63,7 @@ from repro.experiments.registry import (
 )
 from repro.faults.plan import FaultDirective, FaultPlan, WORKER_FAULT_POINTS
 from repro.obs import runtime as obs_runtime
+from repro.runner.backoff import backoff_s
 from repro.runner.cache import (
     DEFAULT_CACHE_DIR,
     ResultCache,
@@ -215,6 +216,9 @@ class _TaskState:
     timed_out: bool = False
     failure_kind: Optional[str] = None
     error: Optional[str] = None
+    #: ``perf_counter`` timestamp before which a retry must not re-submit
+    #: (seeded backoff; 0.0 = immediately eligible).
+    ready_at: float = 0.0
 
     @property
     def label(self) -> str:
@@ -609,6 +613,8 @@ def run_all(
             )
             spans.end(synth, status="error", failure=kind)
         if state.attempts < max_attempts:
+            delay_s = backoff_s(seed, state.label, state.attempts)
+            state.ready_at = time.perf_counter() + delay_s
             if live_sink is not None:
                 live_sink.part_state(
                     state.task.experiment_id,
@@ -616,13 +622,17 @@ def run_all(
                     "retrying",
                     attempt=state.attempts,
                     kind=kind,
+                    backoff_s=round(delay_s, 4),
                 )
             registry.counter(
                 "runner.parts.retried", experiment=state.task.experiment_id
             ).inc()
+            registry.histogram(
+                "runner.retry.backoff_s", experiment=state.task.experiment_id
+            ).observe(delay_s)
             emit(
                 f"[retry] {state.label} attempt {state.attempts}/{max_attempts} "
-                f"failed ({kind}: {message}); requeueing"
+                f"failed ({kind}: {message}); requeueing in {delay_s:.3f}s"
             )
             # Directives are one-shot: the retried attempt runs clean.
             state.faults = ()
@@ -661,6 +671,9 @@ def run_all(
             # thread cannot preempt its own driver call.
             while queue and not guard.triggered:
                 state = queue.popleft()
+                wait_s = state.ready_at - time.perf_counter()
+                if wait_s > 0:
+                    time.sleep(wait_s)
                 state.attempts += 1
                 if live_sink is not None:
                     live_sink.part_state(
@@ -774,6 +787,18 @@ def run_all(
                         attempt=state.attempts,
                     )
 
+            def _pop_ready() -> Optional[_TaskState]:
+                # FIFO among eligible tasks; a backing-off retry parks in
+                # place without blocking fresh work behind it. ``wait``
+                # below ticks every poll interval, so a queue of
+                # not-yet-ready retries paces itself instead of spinning.
+                now = time.perf_counter()
+                for index, state in enumerate(queue):
+                    if state.ready_at <= now:
+                        del queue[index]
+                        return state
+                return None
+
             try:
                 while (queue or in_flight) and not guard.triggered:
                     while (
@@ -781,7 +806,15 @@ def run_all(
                         and len(in_flight) < effective_jobs
                         and not guard.triggered
                     ):
-                        _submit(queue.popleft())
+                        state = _pop_ready()
+                        if state is None:
+                            break
+                        _submit(state)
+                    if not in_flight:
+                        # Everything pending is backing off; wait() would
+                        # return instantly on an empty set and spin.
+                        time.sleep(_POLL_INTERVAL_S)
+                        continue
                     done, _ = wait(
                         set(in_flight),
                         timeout=_POLL_INTERVAL_S,

@@ -1,0 +1,670 @@
+"""Campaign manager robustness: journaled sweeps that survive ``kill -9``.
+
+These tests pin the campaign subsystem's three contracts:
+
+* **recovery** — the journal fold reconstructs exact progress after any
+  hard kill: torn trailing lines are tolerated, duplicate and stale seqs
+  are dropped, mid-file corruption quarantines the journal and recovery
+  degrades to the result cache;
+* **idempotence** — a resumed campaign re-executes only work that never
+  finished, and its manifest is byte-identical to an uninterrupted
+  equal-seed run's;
+* **degradation** — a point that fails every attempt is quarantined and
+  reported; the campaign still completes.
+
+The SIGKILL case runs a real subprocess and delivers a real ``SIGKILL``
+mid-campaign — no mocking of the crash itself.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignJournal,
+    fold_journal,
+    load_campaign_spec,
+    parse_campaign_spec,
+    point_rows,
+    quarantine_journal,
+    render_rows,
+    rows_to_csv,
+    run_campaign,
+    validate_campaign_data,
+)
+from repro.campaign.journal import load_journal
+from repro.campaign.manager import build_manifest, write_manifest
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import runtime as obs_runtime
+from repro.runner.backoff import backoff_s
+
+#: Three fast analytic points (no seed dimension): a 2-value occupancy
+#: axis over fig12 plus axis-free fig9 — enough to show partial progress
+#: without ballooning tier-1 wall clock.
+SPEC_DATA = {
+    "schema": 1,
+    "campaign": "unit",
+    "seeds": [0],
+    "experiments": [
+        {"experiment": "fig12", "axes": {"occupancy": [0.4, 0.8]}},
+        {"experiment": "fig9"},
+    ],
+}
+
+
+@pytest.fixture()
+def spec():
+    return parse_campaign_spec(json.loads(json.dumps(SPEC_DATA)))
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    return tmp_path
+
+
+def _run(spec, tmp, **kwargs):
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("cache_dir", str(tmp / "cache"))
+    kwargs.setdefault("journal_path", tmp / "campaign.jsonl")
+    return run_campaign(spec, **kwargs)
+
+
+def _plan(*specs, seed=0):
+    return FaultPlan(specs, seed=seed)
+
+
+class TestSpecExpansion:
+    def test_expansion_is_deterministic_and_content_addressed(self, spec):
+        first = spec.expand("fp")
+        second = spec.expand("fp")
+        assert first == second
+        assert [p.label for p in first] == [
+            "fig12:occupancy=0.4",
+            "fig12:occupancy=0.8",
+            "fig9:all",
+        ]
+        assert len({p.key for p in first}) == 3
+        # A different code fingerprint re-addresses every point.
+        assert {p.key for p in spec.expand("other")}.isdisjoint(
+            {p.key for p in first}
+        )
+
+    def test_seedless_drivers_collapse_the_replicate_dimension(self):
+        data = dict(SPEC_DATA, seeds=[0, 1, 2])
+        spec = parse_campaign_spec(data)
+        # fig12/fig9 take no seed: still 3 points, not 9.
+        assert len(spec.expand("fp")) == 3
+        seeded = parse_campaign_spec(
+            {
+                "campaign": "s",
+                "seeds": [0, 1],
+                "experiments": [
+                    {"experiment": "fig7", "axes": {"duration_s": [0.5]}}
+                ],
+            }
+        )
+        points = seeded.expand("fp")
+        assert [p.seed for p in points] == [0, 1]
+        assert [p.label for p in points] == [
+            "fig7:duration_s=0.5#s0",
+            "fig7:duration_s=0.5#s1",
+        ]
+
+    def test_digest_ignores_file_formatting(self, spec):
+        reordered = parse_campaign_spec(
+            {
+                "seeds": [0],
+                "campaign": "unit",
+                "experiments": SPEC_DATA["experiments"],
+            }
+        )
+        assert spec.digest() == reordered.digest()
+
+    def test_validation_catches_the_lintable_mistakes(self):
+        problems = validate_campaign_data(
+            {
+                "campaign": "bad",
+                "seeds": [0, 0],
+                "experiments": [
+                    {"experiment": "nope"},
+                    {"experiment": "fig12", "axes": {"occupanci": [0.5]}},
+                    {"experiment": "fig9", "axes": {"seed": [1]}},
+                ],
+            }
+        )
+        messages = "\n".join(message for message, _needle in problems)
+        assert "'seeds' contains duplicates" in messages
+        assert "unknown experiment 'nope'" in messages
+        assert "'occupanci' is not a keyword" in messages
+        assert "axis 'seed' is not allowed" in messages
+
+    def test_parse_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            parse_campaign_spec(
+                {"campaign": "x", "experiments": [{"experiment": "nope"}]}
+            )
+
+
+class TestJournalFold:
+    def _journal(self, tmp):
+        return CampaignJournal(tmp / "campaign.jsonl")
+
+    def test_roundtrip_folds_terminals_leases_and_attempts(self, workdir):
+        journal = self._journal(workdir)
+        journal.append("campaign.open", campaign="j", generation=1)
+        journal.append("point.lease", key="a", lease="g1-l1", attempt=1)
+        journal.append("point.done", key="a", attempt=1)
+        journal.append("point.lease", key="b", lease="g1-l2", attempt=1)
+        journal.append("point.retry", key="b", attempt=1)
+        journal.append("point.lease", key="b", lease="g1-l3", attempt=2)
+        state = fold_journal(journal.path)
+        assert state.exists and not state.corrupt and not state.torn_tail
+        assert set(state.done) == {"a"}
+        assert set(state.leases) == {"b"}  # a's lease cleared by its done
+        assert state.attempts["b"] == 2
+        assert state.last_seq == 6 and state.records == 6
+
+    def test_torn_trailing_line_is_tolerated(self, workdir):
+        journal = self._journal(workdir)
+        journal.append("campaign.open", campaign="j", generation=1)
+        journal.append("point.done", key="a", attempt=1)
+        before = fold_journal(journal.path)
+        # A kill -9 mid-append leaves a prefix of the line, no newline.
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"schema": 1, "seq": 3, "type": "poi')
+        after = fold_journal(journal.path)
+        assert after.torn_tail and not after.corrupt
+        assert set(after.done) == set(before.done)
+        assert after.last_seq == before.last_seq
+
+    def test_duplicate_seqs_fold_once(self, workdir):
+        journal = self._journal(workdir)
+        journal.append("campaign.open", campaign="j", generation=1)
+        done = journal.append("point.done", key="a", attempt=1)
+        # Replayed delivery: the identical record appended again.
+        from repro.obs.ioutil import append_line
+
+        append_line(journal.path, json.dumps(done, sort_keys=True))
+        state = fold_journal(journal.path)
+        assert state.dropped == 1
+        assert state.records == 2
+        assert set(state.done) == {"a"}
+
+    def test_stale_records_after_terminal_are_dropped(self, workdir):
+        journal = self._journal(workdir)
+        journal.append("campaign.open", campaign="j", generation=1)
+        journal.append("point.done", key="a", attempt=1)
+        journal.append("point.heartbeat", key="a", lease="g1-l1", attempt=1)
+        journal.append("point.quarantined", key="a", attempts=2, error="late")
+        state = fold_journal(journal.path)
+        assert state.dropped == 2  # stale heartbeat + second terminal
+        assert set(state.done) == {"a"} and not state.quarantined
+        assert not state.leases
+
+    def test_mid_file_corruption_quarantines_the_journal(self, workdir):
+        journal = self._journal(workdir)
+        journal.append("campaign.open", campaign="j", generation=1)
+        journal.append("point.done", key="a", attempt=1)
+        blob = journal.path.read_bytes().splitlines(keepends=True)
+        mangled = blob[0][: len(blob[0]) // 2].rstrip(b"\n") + b"\n" + blob[1]
+        journal.path.write_bytes(mangled)
+        assert fold_journal(journal.path).corrupt
+        state = load_journal(journal.path)
+        assert state.quarantined_path is not None
+        assert not journal.path.exists()
+        moved = Path(state.quarantined_path)
+        assert moved.parent.name == "quarantine" and moved.exists()
+        # Recovery starts from scratch: nothing trusted from the old file.
+        assert not state.done and state.last_seq == 0
+
+    def test_quarantine_never_overwrites_earlier_quarantines(self, workdir):
+        for _round in range(2):
+            journal = self._journal(workdir)
+            journal.append("campaign.open", campaign="j", generation=1)
+            quarantine_journal(journal.path)
+        names = sorted(p.name for p in (workdir / "quarantine").iterdir())
+        assert names == ["campaign.jsonl.0", "campaign.jsonl.1"]
+
+
+class TestRunCampaign:
+    def test_completes_and_second_run_replays_from_cache(self, spec, workdir):
+        first = _run(spec, workdir)
+        assert first.ok and not first.quarantined
+        assert first.executed == 3
+        manifest_bytes = json.dumps(
+            first.manifest, indent=2, sort_keys=True
+        )
+        second = _run(spec, workdir)
+        assert second.ok
+        assert second.executed == 0  # zero re-executed points
+        assert all(o.cached or o.replayed for o in second.outcomes)
+        assert (
+            json.dumps(second.manifest, indent=2, sort_keys=True)
+            == manifest_bytes
+        )
+        assert second.generations == 2
+
+    def test_manifest_is_pure_no_walls_attempts_or_cache_flags(self, spec, workdir):
+        result = _run(spec, workdir)
+        payload = json.dumps(result.manifest)
+        for forbidden in ('"wall_s"', '"attempts"', '"cached"', '"t_s"'):
+            assert forbidden not in payload
+        totals = result.manifest["totals"]
+        assert totals == {"points": 3, "ok": 3, "quarantined": 0}
+
+    def test_poisoned_point_is_quarantined_and_campaign_completes(
+        self, spec, workdir
+    ):
+        plan = _plan(FaultSpec("campaign.point.poison", scope="fig9:*"))
+        result = _run(spec, workdir, retries=1, fault_plan=plan)
+        assert result.ok  # the acceptance contract: completes, not fails
+        (quarantined,) = result.quarantined
+        assert quarantined.point.experiment == "fig9"
+        assert quarantined.attempts == 2  # poison re-arms on every retry
+        assert "campaign.point.poison" in (quarantined.error or "")
+        assert result.manifest["totals"] == {
+            "points": 3,
+            "ok": 2,
+            "quarantined": 1,
+        }
+        reported = [
+            p for p in result.manifest["points"] if p["status"] == "quarantined"
+        ]
+        assert [p["experiment"] for p in reported] == ["fig9"]
+
+    def test_quarantined_point_is_not_retried_on_resume(self, spec, workdir):
+        plan = _plan(FaultSpec("campaign.point.poison", scope="fig9:*"))
+        first = _run(spec, workdir, retries=0, fault_plan=plan)
+        assert len(first.quarantined) == 1
+        resumed = _run(spec, workdir)
+        assert resumed.executed == 0
+        (replayed,) = resumed.quarantined
+        assert replayed.replayed
+        assert resumed.manifest["totals"]["quarantined"] == 1
+
+    def test_expired_lease_is_retried_to_success(self, spec, workdir):
+        plan = _plan(FaultSpec("campaign.lease.expire", scope="fig9:*"))
+        result = _run(spec, workdir, retries=1, fault_plan=plan)
+        assert result.ok and not result.quarantined
+        fig9 = next(
+            o for o in result.outcomes if o.point.experiment == "fig9"
+        )
+        assert fig9.attempts == 2
+        state = fold_journal(workdir / "campaign.jsonl")
+        assert state.attempts[fig9.point.key] == 2
+
+    def test_torn_journal_fault_then_resume_recovers_from_cache(
+        self, spec, workdir
+    ):
+        baseline = _run(spec, workdir, journal_path=workdir / "clean.jsonl")
+        plan = _plan(FaultSpec("campaign.journal.corrupt", scope="fig12:*"))
+        torn = _run(
+            spec,
+            workdir,
+            fault_plan=plan,
+            journal_path=workdir / "torn.jsonl",
+        )
+        assert torn.ok  # the torn append hurts the journal, not the run
+        # The glued fragment makes the fold see mid-file corruption...
+        assert fold_journal(workdir / "torn.jsonl").corrupt
+        resumed = _run(spec, workdir, journal_path=workdir / "torn.jsonl")
+        # ...so resume quarantines the journal and replays from cache.
+        assert resumed.journal_quarantined is not None
+        assert resumed.executed == 0
+        assert json.dumps(resumed.manifest, sort_keys=True) == json.dumps(
+            baseline.manifest, sort_keys=True
+        )
+
+    def test_fresh_moves_the_old_journal_aside(self, spec, workdir):
+        _run(spec, workdir)
+        result = _run(spec, workdir, resume=False)
+        assert result.generations == 1
+        assert (workdir / "quarantine" / "campaign.jsonl.0").exists()
+        # Fresh generation, but the cache still made every point free.
+        assert result.executed == 0
+
+    def test_pool_mode_matches_in_process_manifest(self, spec, workdir):
+        solo = _run(spec, workdir, journal_path=workdir / "solo.jsonl")
+        pooled = _run(
+            spec,
+            workdir,
+            jobs=2,
+            cache_dir=str(workdir / "cache2"),
+            journal_path=workdir / "pool.jsonl",
+        )
+        assert json.dumps(pooled.manifest, sort_keys=True) == json.dumps(
+            solo.manifest, sort_keys=True
+        )
+
+
+#: Self-SIGKILLs after the first point's terminal journal append lands —
+#: the parent asserts the kill was real (returncode -9) and resumes.
+_SIGKILL_SCRIPT = """
+import json, os, signal, sys
+from repro.campaign import load_campaign_spec, run_campaign
+
+spec = load_campaign_spec(sys.argv[1])
+
+def progress(line):
+    if line.startswith("[point"):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+run_campaign(
+    spec,
+    jobs=1,
+    cache_dir=sys.argv[2],
+    journal_path=sys.argv[3],
+    progress=progress,
+)
+"""
+
+
+class TestSigkillResume:
+    def test_sigkill_mid_campaign_resumes_byte_identical(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DATA))
+        cache_dir = tmp_path / "cache"
+        journal_path = tmp_path / "campaign.jsonl"
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parent.parent / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _SIGKILL_SCRIPT, str(spec_path),
+             str(cache_dir), str(journal_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        survivors = fold_journal(journal_path)
+        assert survivors.exists
+        assert 1 <= len(survivors.done) < 3  # partial progress, real kill
+
+        spec = load_campaign_spec(spec_path)
+        resumed = run_campaign(
+            spec, jobs=1, cache_dir=str(cache_dir), journal_path=journal_path
+        )
+        assert resumed.ok
+        # Every point the journal proved done replayed without executing.
+        assert resumed.executed == 3 - len(survivors.done)
+        for outcome in resumed.outcomes:
+            if outcome.point.key in survivors.done:
+                assert outcome.cached and outcome.replayed
+
+        # The invariant the chaos CI job pins: byte-identical manifests.
+        uninterrupted = run_campaign(
+            spec,
+            jobs=1,
+            cache_dir=str(tmp_path / "cache_clean"),
+            journal_path=tmp_path / "clean.jsonl",
+        )
+        resumed_path = write_manifest(tmp_path / "resumed.json", resumed.manifest)
+        clean_path = write_manifest(
+            tmp_path / "clean.json", uninterrupted.manifest
+        )
+        assert resumed_path.read_bytes() == clean_path.read_bytes()
+
+
+class TestBackoff:
+    def test_backoff_is_deterministic_and_bounded(self):
+        assert backoff_s(0, "fig9:all", 1) == backoff_s(0, "fig9:all", 1)
+        assert backoff_s(0, "fig9:all", 1) != backoff_s(0, "fig9:all", 2)
+        assert backoff_s(0, "fig9:all", 1) != backoff_s(1, "fig9:all", 1)
+        for attempt in range(1, 8):
+            window = min(2.0, 0.05 * 2 ** (attempt - 1))
+            delay = backoff_s(0, "x", attempt)
+            assert window * 0.5 <= delay <= window
+
+    def test_runner_retry_observes_backoff_metric(self, tmp_path):
+        from repro.runner import run_all
+
+        obs_runtime.configure(enabled=True)
+        registry = obs_runtime.get_registry()
+        plan = _plan(FaultSpec("worker.raise", scope="fig9:*"))
+        result = run_all(
+            ids=["fig9"],
+            jobs=1,
+            cache_dir=str(tmp_path / "cache"),
+            retries=1,
+            fault_plan=plan,
+        )
+        assert result.ok
+        histogram = registry.histogram(
+            "runner.retry.backoff_s", experiment="fig9"
+        )
+        assert histogram.count == 1
+        assert 0.0 < histogram.sum <= 2.0
+        obs_runtime.configure(enabled=True)  # leave a clean registry behind
+
+
+class TestResultsQuery:
+    def test_rows_flatten_axes_domain_and_slo(self, spec, workdir):
+        result = _run(spec, workdir)
+        rows = point_rows(result.manifest)
+        assert len(rows) == 3
+        by_point = {row["point"]: row for row in rows}
+        assert by_point["fig12:occupancy=0.4"]["axis.occupancy"] == 0.4
+        fig12 = by_point["fig12:occupancy=0.4"]
+        assert any(key.startswith("camera.") for key in fig12)
+        assert "slo.ok" in fig12 or "slo.violated" in fig12
+        table = render_rows(rows)
+        assert "axis.occupancy" in table.splitlines()[0]
+        csv_text = rows_to_csv(rows)
+        assert csv_text.splitlines()[0].startswith("campaign,point,experiment")
+        assert len(csv_text.splitlines()) == 4
+
+    def test_experiment_filter(self, spec, workdir):
+        result = _run(spec, workdir)
+        rows = point_rows(result.manifest, experiment="fig9")
+        assert [row["experiment"] for row in rows] == ["fig9"]
+
+    def test_render_rows_empty(self):
+        assert render_rows([]) == "(no points)"
+
+
+class TestCampaignCli:
+    def _write_spec(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DATA))
+        return spec_path
+
+    def test_run_status_results_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = self._write_spec(tmp_path)
+        report = tmp_path / "campaign_manifest.json"
+        journal = tmp_path / "campaign.jsonl"
+        code = main(
+            [
+                "campaign", "run",
+                "--spec", str(spec_path),
+                "--jobs", "1",
+                "--report", str(report),
+                "--journal", str(journal),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3/3 ok" in out
+        assert report.exists() and journal.exists()
+
+        code = main(
+            [
+                "campaign", "status",
+                "--journal", str(journal),
+                "--spec", str(spec_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 done" in out and "0/3 pending" in out
+
+        code = main(
+            [
+                "campaign", "results",
+                "--input", str(report),
+                "--format", "csv",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("campaign,point,experiment")
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps(
+                {"campaign": "x", "experiments": [{"experiment": "nope"}]}
+            )
+        )
+        code = main(["campaign", "run", "--spec", str(bad)])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_resume_fresh_conflict_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = self._write_spec(tmp_path)
+        code = main(
+            [
+                "campaign", "run",
+                "--spec", str(spec_path),
+                "--resume", "--fresh",
+            ]
+        )
+        assert code == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_status_without_journal_exits_1(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["campaign", "status", "--journal", str(tmp_path / "none.jsonl")]
+        )
+        assert code == 1
+        assert "no journal" in capsys.readouterr().out
+
+    def test_usage_line_for_unknown_verb(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "bogus"]) == 2
+        assert "usage: repro campaign" in capsys.readouterr().err
+
+
+class TestWatchEmptyStream:
+    def test_render_board_without_events_explains_itself(self):
+        from repro.obs.live import WatchState, render_board, replay
+
+        board = render_board(WatchState())
+        assert "waiting for events" in board
+        assert "?" not in board.replace("here?", "")  # no board of "?"s
+        # One real record flips it to the normal board.
+        state = replay(
+            [{"type": "run.start", "seq": 1, "t_s": 0.0, "seed": 7, "jobs": 2}]
+        )
+        assert "seed=7" in render_board(state)
+
+
+class TestLintPW007:
+    def test_campaign_spec_problems_become_findings(self):
+        from repro.lint.checks import check_campaign_spec_file
+
+        source = json.dumps(
+            {
+                "campaign": "bad",
+                "seeds": [0],
+                "experiments": [
+                    {"experiment": "nope"},
+                    {"experiment": "fig12", "axes": {"occupanci": [0.5]}},
+                ],
+            },
+            indent=2,
+        )
+        findings = check_campaign_spec_file("campaigns/bad.json", source)
+        assert findings
+        assert all(f.code == "PW007" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        assert "unknown experiment 'nope'" in messages
+        assert "'occupanci' is not a keyword" in messages
+        lines = {f.line for f in findings}
+        assert lines != {1}  # needles located real source lines
+
+    def test_valid_spec_and_invalid_json(self):
+        from repro.lint.checks import check_campaign_spec_file
+
+        assert (
+            check_campaign_spec_file(
+                "campaigns/ok.json", json.dumps(SPEC_DATA)
+            )
+            == []
+        )
+        (finding,) = check_campaign_spec_file("campaigns/broken.json", "{oops")
+        assert finding.code == "PW007"
+        assert "not valid JSON" in finding.message
+
+    def test_lint_paths_routes_campaigns_and_slos_dirs(self, tmp_path):
+        from repro.lint.config import LintConfig
+        from repro.lint.engine import lint_paths
+
+        campaigns = tmp_path / "campaigns"
+        campaigns.mkdir()
+        (campaigns / "bad.json").write_text(
+            json.dumps(
+                {"campaign": "x", "experiments": [{"experiment": "nope"}]}
+            )
+        )
+        slos = tmp_path / "slos"
+        slos.mkdir()
+        (slos / "bad.json").write_text(
+            json.dumps({"objectives": [{"id": "Not Dotted"}]})
+        )
+        findings = lint_paths(
+            [str(tmp_path)], config=LintConfig(), use_baseline=False
+        )
+        codes = sorted(f.code for f in findings)
+        assert codes == ["PW006", "PW007"]
+
+    def test_explicit_file_is_sniffed_by_campaign_key(self, tmp_path):
+        from repro.lint.config import LintConfig
+        from repro.lint.engine import lint_paths
+
+        loose = tmp_path / "sweep.json"
+        loose.write_text(
+            json.dumps(
+                {"campaign": "x", "experiments": [{"experiment": "nope"}]}
+            )
+        )
+        findings = lint_paths(
+            [str(loose)], config=LintConfig(), use_baseline=False
+        )
+        assert [f.code for f in findings] == ["PW007"]
+
+    def test_disable_gates_the_rule(self, tmp_path):
+        from repro.lint.config import LintConfig
+        from repro.lint.engine import lint_paths
+
+        campaigns = tmp_path / "campaigns"
+        campaigns.mkdir()
+        (campaigns / "bad.json").write_text(
+            json.dumps(
+                {"campaign": "x", "experiments": [{"experiment": "nope"}]}
+            )
+        )
+        findings = lint_paths(
+            [str(tmp_path)],
+            config=LintConfig(disable=("PW007",)),
+            use_baseline=False,
+        )
+        assert findings == []
